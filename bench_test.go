@@ -1,0 +1,185 @@
+// Benchmarks: one testing.B target per table/figure of the paper (reduced
+// problem sizes so iterations stay subsecond — use cmd/clusterkv-bench for
+// the full-scale regeneration), plus microbenchmarks of the hot kernels.
+package clusterkv_test
+
+import (
+	"testing"
+
+	"clusterkv"
+	"clusterkv/internal/bench"
+)
+
+func benchOptions() bench.Options {
+	return bench.Options{MaxCtx: 2048, ModelCtx: 1024, Seed: 1}
+}
+
+// ---- One bench per paper artifact -------------------------------------------
+
+func BenchmarkFig3aImportanceDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFig3a(benchOptions())
+	}
+}
+
+func BenchmarkFig3bFragmentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFig3b(benchOptions())
+	}
+}
+
+func BenchmarkFig9LongBench(b *testing.B) {
+	opt := bench.Options{MaxCtx: 1024, ModelCtx: 512, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		bench.RunFig9(opt)
+	}
+}
+
+func BenchmarkTab1AverageScores(b *testing.B) {
+	opt := bench.Options{MaxCtx: 1024, ModelCtx: 512, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		bench.RunTab1(opt)
+	}
+}
+
+func BenchmarkFig10Perplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFig10(benchOptions())
+	}
+}
+
+func BenchmarkFig11aRecall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFig11a(benchOptions())
+	}
+}
+
+func BenchmarkFig11bAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFig11b(benchOptions())
+	}
+}
+
+func BenchmarkFig12Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFig12(benchOptions())
+	}
+}
+
+func BenchmarkFig13aVsInfiniGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFig13a(benchOptions())
+	}
+}
+
+func BenchmarkFig13bVsQuest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFig13b(benchOptions())
+	}
+}
+
+func BenchmarkCacheHitRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunCache(benchOptions())
+	}
+}
+
+func BenchmarkOverlapPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunOverlap(benchOptions())
+	}
+}
+
+// ---- Microbenchmarks of the system's hot paths ---------------------------------
+
+// BenchmarkPrefillClustering measures semantic clustering of an 8k-token
+// context (the §III-D Concern-1 cost).
+func BenchmarkPrefillClustering(b *testing.B) {
+	tc := clusterkv.DefaultTraceConfig()
+	tc.L = 8192
+	tr := clusterkv.NewTrace(tc)
+	cfg := clusterkv.DefaultConfig()
+	cfg.BypassLayers = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := clusterkv.New(cfg)
+		clusterkv.RunTrace(tr, sel, 1024)
+	}
+}
+
+// BenchmarkSelectStep measures one ClusterKV selection step (score + sort +
+// gather, §IV-C) amortised over a run.
+func BenchmarkSelectStep(b *testing.B) {
+	spec := clusterkv.TaskSpec{
+		Name: "bench", BaseScore: 1, CtxLen: 4096, NumNeedles: 2,
+		NeedleTokens: 16, SpreadRegion: 256, AnswerSteps: 64,
+		HopPattern: "revisit", DiffuseNoise: 0.4, QueryGain: 1,
+	}
+	task := clusterkv.BuildTask(spec, 1)
+	cfg := clusterkv.DefaultConfig()
+	cfg.BypassLayers = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clusterkv.RunTrace(task.Trace, clusterkv.New(cfg), 512)
+	}
+}
+
+// BenchmarkQuestSelect measures Quest page scoring over the same workload.
+func BenchmarkQuestSelect(b *testing.B) {
+	spec := clusterkv.TaskSpec{
+		Name: "bench", BaseScore: 1, CtxLen: 4096, NumNeedles: 2,
+		NeedleTokens: 16, SpreadRegion: 256, AnswerSteps: 64,
+		HopPattern: "revisit", DiffuseNoise: 0.4, QueryGain: 1,
+	}
+	task := clusterkv.BuildTask(spec, 1)
+	cfg := clusterkv.DefaultQuestConfig()
+	cfg.BypassLayers = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clusterkv.RunTrace(task.Trace, clusterkv.NewQuest(cfg), 512)
+	}
+}
+
+// BenchmarkInfiniGenSelect measures InfiniGen per-token partial scoring.
+func BenchmarkInfiniGenSelect(b *testing.B) {
+	spec := clusterkv.TaskSpec{
+		Name: "bench", BaseScore: 1, CtxLen: 4096, NumNeedles: 2,
+		NeedleTokens: 16, SpreadRegion: 256, AnswerSteps: 64,
+		HopPattern: "revisit", DiffuseNoise: 0.4, QueryGain: 1,
+	}
+	task := clusterkv.BuildTask(spec, 1)
+	cfg := clusterkv.DefaultInfiniGenConfig()
+	cfg.BypassLayers = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clusterkv.RunTrace(task.Trace, clusterkv.NewInfiniGen(cfg), 512)
+	}
+}
+
+// BenchmarkTransformerPrefill measures the engine's parallel prefill.
+func BenchmarkTransformerPrefill(b *testing.B) {
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	doc := clusterkv.Doc(clusterkv.DefaultDocConfig(), 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := m.NewSequence(nil, 0)
+		seq.Prefill(doc, nil)
+	}
+}
+
+// BenchmarkTransformerDecode measures one decode step with ClusterKV active.
+func BenchmarkTransformerDecode(b *testing.B) {
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	doc := clusterkv.Doc(clusterkv.DefaultDocConfig(), 1024)
+	seq := m.NewSequence(clusterkv.New(clusterkv.DefaultConfig()), 256)
+	seq.Prefill(doc, nil)
+	b.ResetTimer()
+	tok := doc[0]
+	for i := 0; i < b.N; i++ {
+		logits := seq.Decode(tok)
+		tok = int(logits[0]) & 63 // cheap pseudo-token to vary input
+		if tok < 0 {
+			tok = 0
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package clusterkv is a pure-Go implementation of ClusterKV (Liu et al.,
+// DAC 2025): recallable LLM KV-cache compression that selects tokens at the
+// granularity of semantic clusters. It bundles:
+//
+//   - the ClusterKV method itself — cosine K-means over key vectors,
+//     inner-product cluster selection with budget trimming, incremental
+//     decode-time clustering, and a cluster-granularity recall cache;
+//   - the baselines the paper compares against (Quest, InfiniGen, H2O,
+//     StreamingLLM, full KV);
+//   - a deterministic Transformer inference engine and synthetic semantic
+//     workloads standing in for the paper's models and datasets;
+//   - an analytic GPU/PCIe cost model and a benchmark harness that
+//     regenerates every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+//	sel := clusterkv.New(clusterkv.DefaultConfig())
+//	seq := m.NewSequence(sel, 1024) // 1024-token KV budget
+//	seq.Prefill(prompt, nil)
+//	logits := seq.Decode(nextToken)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for paper-vs-measured
+// results. The examples/ directory contains runnable walkthroughs.
+package clusterkv
+
+import (
+	"clusterkv/internal/attention"
+	"clusterkv/internal/baselines"
+	"clusterkv/internal/bench"
+	"clusterkv/internal/cluster"
+	"clusterkv/internal/core"
+	"clusterkv/internal/memsim"
+	"clusterkv/internal/metrics"
+	"clusterkv/internal/model"
+	"clusterkv/internal/workload"
+)
+
+// ---- The ClusterKV method -------------------------------------------------
+
+// Config holds every ClusterKV tunable (sink tokens, C0 = L/ClusterRatio,
+// decode-window m and C+, cache horizon R, clustering metric, ...).
+type Config = core.Config
+
+// ClusterKV is the compression method: an attention Selector that clusters
+// keys in semantic space and recalls whole clusters per decode step.
+type ClusterKV = core.ClusterKV
+
+// DefaultConfig returns the paper's default configuration (§III/§IV).
+func DefaultConfig() Config { return core.NewConfig() }
+
+// New builds a ClusterKV selector.
+func New(cfg Config) *ClusterKV { return core.New(cfg) }
+
+// Metric is the clustering distance: Cosine (default), L2 or InnerProduct.
+type Metric = cluster.Metric
+
+// Clustering distance metrics (paper §III-B and the Fig. 11b ablation).
+const (
+	Cosine       = cluster.Cosine
+	L2           = cluster.L2
+	InnerProduct = cluster.InnerProduct
+)
+
+// ---- Selector contract and baselines ---------------------------------------
+
+// Selector is the contract between inference engines and compression
+// methods; all methods in this module implement it.
+type Selector = attention.Selector
+
+// SelStats are the operation counters every Selector accumulates.
+type SelStats = attention.SelStats
+
+// Baseline configurations.
+type (
+	// QuestConfig configures the Quest (ICML'24) reimplementation.
+	QuestConfig = baselines.QuestConfig
+	// InfiniGenConfig configures the InfiniGen (OSDI'24) reimplementation.
+	InfiniGenConfig = baselines.InfiniGenConfig
+	// H2OConfig configures the H2O (NeurIPS'23) reimplementation.
+	H2OConfig = baselines.H2OConfig
+	// StreamingConfig configures the StreamingLLM (ICLR'24) reimplementation.
+	StreamingConfig = baselines.StreamingConfig
+)
+
+// NewQuest builds the page-granularity recall baseline.
+func NewQuest(cfg QuestConfig) Selector { return baselines.NewQuest(cfg) }
+
+// DefaultQuestConfig returns the original Quest settings (page size 16).
+func DefaultQuestConfig() QuestConfig { return baselines.NewQuestConfig() }
+
+// NewInfiniGen builds the SVD partial-key recall baseline.
+func NewInfiniGen(cfg InfiniGenConfig) Selector { return baselines.NewInfiniGen(cfg) }
+
+// DefaultInfiniGenConfig returns the original InfiniGen settings.
+func DefaultInfiniGenConfig() InfiniGenConfig { return baselines.NewInfiniGenConfig() }
+
+// NewH2O builds the non-recallable heavy-hitter eviction baseline.
+func NewH2O(cfg H2OConfig) Selector { return baselines.NewH2O(cfg) }
+
+// DefaultH2OConfig returns the original H2O settings.
+func DefaultH2OConfig() H2OConfig { return baselines.NewH2OConfig() }
+
+// NewStreamingLLM builds the sinks+recency baseline.
+func NewStreamingLLM(cfg StreamingConfig) Selector { return baselines.NewStreamingLLM(cfg) }
+
+// DefaultStreamingConfig returns sink/recency defaults.
+func DefaultStreamingConfig() StreamingConfig { return baselines.NewStreamingConfig() }
+
+// NewFullKV builds the uncompressed full-attention reference.
+func NewFullKV() Selector { return baselines.NewFullKV() }
+
+// ---- Transformer engine -----------------------------------------------------
+
+// Model is the deterministic Transformer inference engine (MHA/GQA + RoPE +
+// SwiGLU + RMSNorm) with pluggable KV selection.
+type Model = model.Model
+
+// ModelConfig describes a model shape plus synthetic-structure knobs.
+type ModelConfig = model.Config
+
+// Sequence is one generation stream bound to a Selector and budget.
+type Sequence = model.Sequence
+
+// DefaultModelConfig returns the small evaluation model (4×4×16, d_model 64).
+func DefaultModelConfig() ModelConfig { return model.DefaultConfig() }
+
+// NewModel builds a model with deterministic structured weights.
+func NewModel(cfg ModelConfig) *Model { return model.New(cfg) }
+
+// ---- Workloads ----------------------------------------------------------------
+
+// Workload generators standing in for the paper's datasets (DESIGN.md §1).
+type (
+	// Trace is a synthetic semantic attention trace (keys/values/queries).
+	Trace = workload.Trace
+	// TraceConfig controls trace generation.
+	TraceConfig = workload.TraceConfig
+	// TaskSpec defines one LongBench-like task.
+	TaskSpec = workload.TaskSpec
+	// Task is a materialised task instance.
+	Task = workload.Task
+	// DocConfig controls token-document generation.
+	DocConfig = workload.DocConfig
+	// RetrievalLM is the language-modeling substrate of the Fig. 10 study.
+	RetrievalLM = workload.RetrievalLM
+)
+
+// DefaultTraceConfig returns the evaluation trace shape.
+func DefaultTraceConfig() TraceConfig { return workload.DefaultTraceConfig() }
+
+// NewTrace generates a semantic trace context.
+func NewTrace(cfg TraceConfig) *Trace { return workload.NewTrace(cfg) }
+
+// LongBenchTasks returns the eight LongBench-like task specs (§V-A).
+func LongBenchTasks(maxCtx int) []TaskSpec { return workload.LongBenchTasks(maxCtx) }
+
+// BuildTask materialises a task instance.
+func BuildTask(spec TaskSpec, seed uint64) *Task { return workload.BuildTask(spec, seed) }
+
+// DefaultDocConfig matches DefaultModelConfig's vocabulary.
+func DefaultDocConfig() DocConfig { return workload.DefaultDocConfig() }
+
+// Doc generates a topic-segmented token document.
+func Doc(cfg DocConfig, n int) []int { return workload.Doc(cfg, n) }
+
+// PG19Stream generates a PG19-like language-modeling stream.
+func PG19Stream(cfg DocConfig, n int) []int { return workload.PG19Stream(cfg, n) }
+
+// ---- Evaluation ---------------------------------------------------------------
+
+// RunResult aggregates recall and attention-fidelity measurements of one
+// (trace, method, budget) run.
+type RunResult = bench.RunResult
+
+// RunTrace replays a trace against a selector at the given budget.
+func RunTrace(tr *Trace, sel Selector, budget int) *RunResult {
+	return bench.RunTrace(tr, sel, budget)
+}
+
+// NewRetrievalLM builds the Fig. 10 language-modeling substrate: a stream
+// self-generated under full attention, so full KV is optimal by construction
+// and perplexity deviations measure attention-approximation error.
+func NewRetrievalLM(doc DocConfig, tc TraceConfig, n, warmup int, lambda float32) *RetrievalLM {
+	return workload.NewRetrievalLM(doc, tc, n, warmup, lambda)
+}
+
+// RetrievalPerplexity streams the LM's tokens teacher-forced through a
+// selector and returns perplexity at each checkpoint length.
+func RetrievalPerplexity(lm *RetrievalLM, sel Selector, budget int, checkpoints []int) []float64 {
+	return bench.RetrievalPerplexity(lm, sel, budget, checkpoints)
+}
+
+// Recall returns |selected ∩ truth|/|truth| (paper §V-B).
+func Recall(selected, truth []int) float64 { return metrics.Recall(selected, truth) }
+
+// ---- Cost model ------------------------------------------------------------------
+
+// Hardware models a GPU + host link for the latency experiments.
+type Hardware = memsim.Hardware
+
+// ModelShape captures a served model's dimensions for the cost model.
+type ModelShape = memsim.ModelShape
+
+// Cost-model parameter bundles measured from algorithm runs.
+type (
+	// ClusterKVCounts parameterise a modeled ClusterKV decode step.
+	ClusterKVCounts = memsim.ClusterKVCounts
+	// QuestCounts parameterise a modeled Quest decode step.
+	QuestCounts = memsim.QuestCounts
+	// InfiniGenCounts parameterise a modeled InfiniGen decode step.
+	InfiniGenCounts = memsim.InfiniGenCounts
+	// DecodeBreakdown itemises a modeled decode step's latency.
+	DecodeBreakdown = memsim.DecodeBreakdown
+)
+
+// AdaRTX6000 returns the paper's GPU model.
+func AdaRTX6000() Hardware { return memsim.AdaRTX6000() }
+
+// Llama31_8B returns the Llama-3.1-8B shape (Fig. 12/13b).
+func Llama31_8B() ModelShape { return memsim.Llama31_8B() }
+
+// OPT67B returns the OPT-6.7B shape (Fig. 13a).
+func OPT67B() ModelShape { return memsim.OPT67B() }

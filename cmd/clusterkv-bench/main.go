@@ -1,0 +1,58 @@
+// Command clusterkv-bench regenerates the paper's tables and figures
+// (DESIGN.md §3 lists the experiment ids). Examples:
+//
+//	clusterkv-bench -exp all                  # every experiment, quick scale
+//	clusterkv-bench -exp fig11a -ctx 32768    # paper-scale recall experiment
+//	clusterkv-bench -exp tab1 -markdown       # Table I as markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"clusterkv/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (fig3a, fig3b, fig9, tab1, fig10, fig11a, fig11b, fig12, fig13a, fig13b, cache, overlap, ablations, all)")
+		ctx      = flag.Int("ctx", 8192, "max context length for trace experiments")
+		modelCtx = flag.Int("modelctx", 4096, "max context length for transformer-engine experiments")
+		seed     = flag.Uint64("seed", 1, "master seed")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+	)
+	flag.Parse()
+
+	opt := bench.Options{MaxCtx: *ctx, ModelCtx: *modelCtx, Seed: *seed}
+
+	runners := bench.Registry()
+	var ids []string
+	if *exp == "all" {
+		ids = bench.RegistryOrder()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	for _, id := range ids {
+		run, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(bench.RegistryOrder(), ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		reports := run(opt)
+		for _, rep := range reports {
+			if *markdown {
+				fmt.Print(rep.Markdown())
+			} else {
+				fmt.Print(rep.String())
+			}
+			fmt.Println()
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,79 @@
+// Language modeling: evaluate perplexity of a PG19-like stream under each KV
+// compression method with a fixed budget — the paper's Fig. 10 scenario.
+//
+// The stream is self-generated under full attention, so full KV is optimal
+// by construction and each method's perplexity deviation measures its
+// attention-approximation error.
+//
+//	go run ./examples/language_model
+package main
+
+import (
+	"fmt"
+
+	"clusterkv"
+)
+
+func main() {
+	const (
+		length = 4096
+		budget = 512
+		warmup = 512
+		lambda = 10
+	)
+	doc := clusterkv.DefaultDocConfig()
+	tc := clusterkv.DefaultTraceConfig()
+	tc.Heads = 2
+	tc.Seed = 11
+
+	fmt.Printf("generating a %d-token self-consistent stream...\n", length)
+	lm := clusterkv.NewRetrievalLM(doc, tc, length, warmup, lambda)
+
+	checkpoints := []int{1024, 2048, 4096}
+	methods := []struct {
+		name string
+		mk   func() clusterkv.Selector
+	}{
+		{"FullKV", clusterkv.NewFullKV},
+		{"ClusterKV", func() clusterkv.Selector {
+			cfg := clusterkv.DefaultConfig()
+			cfg.BypassLayers = 0
+			return clusterkv.New(cfg)
+		}},
+		{"Quest", func() clusterkv.Selector {
+			cfg := clusterkv.DefaultQuestConfig()
+			cfg.BypassLayers = 0
+			return clusterkv.NewQuest(cfg)
+		}},
+		{"InfiniGen", func() clusterkv.Selector {
+			cfg := clusterkv.DefaultInfiniGenConfig()
+			cfg.BypassLayers = 0
+			return clusterkv.NewInfiniGen(cfg)
+		}},
+	}
+
+	fmt.Printf("\n%-11s", "ppl @")
+	for _, c := range checkpoints {
+		fmt.Printf("  %-8d", c)
+	}
+	fmt.Println()
+	var full []float64
+	results := map[string][]float64{}
+	for _, ms := range methods {
+		ppl := clusterkv.RetrievalPerplexity(lm, ms.mk(), budget, checkpoints)
+		results[ms.name] = ppl
+		if ms.name == "FullKV" {
+			full = ppl
+		}
+		fmt.Printf("%-11s", ms.name)
+		for _, p := range ppl {
+			fmt.Printf("  %-8.2f", p)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ndeviation from full KV at %d tokens (budget %d):\n", length, budget)
+	for _, ms := range methods[1:] {
+		d := results[ms.name][len(checkpoints)-1] - full[len(checkpoints)-1]
+		fmt.Printf("  %-11s %+0.2f\n", ms.name, d)
+	}
+}

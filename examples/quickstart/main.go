@@ -1,0 +1,70 @@
+// Quickstart: run the Transformer engine with ClusterKV compression and
+// compare its decode path against the uncompressed full-KV reference.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"clusterkv"
+)
+
+func main() {
+	// A small deterministic model (4 layers × 4 heads × 16 channels) with
+	// LLM-like key structure: semantic clusters, attention sinks, outlier
+	// channels.
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+
+	// A topic-segmented synthetic document of 2048 tokens.
+	prompt := clusterkv.Doc(clusterkv.DefaultDocConfig(), 2048)
+
+	const budget = 256 // KV cache budget per head (tokens)
+
+	// Decode 32 tokens greedily under full KV and under ClusterKV.
+	decode := func(sel clusterkv.Selector) []int {
+		seq := m.NewSequence(sel, budget)
+		seq.Prefill(prompt, nil)
+		tok := prompt[len(prompt)-1]
+		out := make([]int, 0, 32)
+		for i := 0; i < 32; i++ {
+			logits := seq.Decode(tok)
+			tok = argmax(logits)
+			out = append(out, tok)
+		}
+		return out
+	}
+
+	full := decode(clusterkv.NewFullKV())
+	ckv := clusterkv.New(clusterkv.DefaultConfig())
+	compressed := decode(ckv)
+
+	match := 0
+	for i := range full {
+		if full[i] == compressed[i] {
+			match++
+		}
+	}
+	fmt.Printf("prompt length:        %d tokens\n", len(prompt))
+	fmt.Printf("KV budget:            %d tokens per head\n", budget)
+	fmt.Printf("full-KV output:       %v\n", full)
+	fmt.Printf("ClusterKV output:     %v\n", compressed)
+	fmt.Printf("greedy tokens agree:  %d/%d\n", match, len(full))
+
+	st := ckv.Stats()
+	fmt.Printf("\nClusterKV counters over %d steps:\n", st.Steps)
+	fmt.Printf("  tokens selected:   %d (avg %.0f per head-step)\n",
+		st.TokensSelected, float64(st.TokensSelected)/float64(st.SelectCalls))
+	fmt.Printf("  clusters selected: %d\n", st.ClustersSelected)
+	fmt.Printf("  cache hit rate:    %.0f%%\n", st.HitRate()*100)
+}
+
+func argmax(x []float32) int {
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,144 @@
+package clusterkv_test
+
+import (
+	"math"
+	"testing"
+
+	"clusterkv"
+)
+
+// TestEndToEndDecodeWithEveryMethod runs the full transformer with each
+// compression method over a real prefill+decode cycle and checks basic
+// sanity: finite logits, correct budget behaviour, recorded stats.
+func TestEndToEndDecodeWithEveryMethod(t *testing.T) {
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	doc := clusterkv.Doc(clusterkv.DefaultDocConfig(), 768)
+
+	methods := map[string]clusterkv.Selector{
+		"ClusterKV":    clusterkv.New(clusterkv.DefaultConfig()),
+		"Quest":        clusterkv.NewQuest(clusterkv.DefaultQuestConfig()),
+		"InfiniGen":    clusterkv.NewInfiniGen(clusterkv.DefaultInfiniGenConfig()),
+		"H2O":          clusterkv.NewH2O(clusterkv.DefaultH2OConfig()),
+		"StreamingLLM": clusterkv.NewStreamingLLM(clusterkv.DefaultStreamingConfig()),
+		"FullKV":       clusterkv.NewFullKV(),
+	}
+	for name, sel := range methods {
+		t.Run(name, func(t *testing.T) {
+			seq := m.NewSequence(sel, 128)
+			seq.Prefill(doc, nil)
+			tok := doc[len(doc)-1]
+			for i := 0; i < 8; i++ {
+				logits := seq.Decode(tok)
+				for _, v := range logits {
+					if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+						t.Fatalf("%s produced non-finite logits", name)
+					}
+				}
+				tok = argmax(logits)
+			}
+			if sel.Stats().Steps != 8 {
+				t.Fatalf("%s counted %d steps", name, sel.Stats().Steps)
+			}
+		})
+	}
+}
+
+// TestCompressionEqualsFullWhenBudgetCovers checks the exactness property:
+// with a budget at least the context length, every recallable method must
+// reproduce full attention bit-for-bit (selection returns nil).
+func TestCompressionEqualsFullWhenBudgetCovers(t *testing.T) {
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	doc := clusterkv.Doc(clusterkv.DefaultDocConfig(), 300)
+
+	run := func(sel clusterkv.Selector) []float32 {
+		seq := m.NewSequence(sel, 100000)
+		seq.Prefill(doc[:280], nil)
+		var last []float32
+		for _, tok := range doc[280:] {
+			last = seq.Decode(tok)
+		}
+		return last
+	}
+	want := run(clusterkv.NewFullKV())
+	for _, mk := range []func() clusterkv.Selector{
+		func() clusterkv.Selector { return clusterkv.New(clusterkv.DefaultConfig()) },
+		func() clusterkv.Selector { return clusterkv.NewQuest(clusterkv.DefaultQuestConfig()) },
+		func() clusterkv.Selector { return clusterkv.NewInfiniGen(clusterkv.DefaultInfiniGenConfig()) },
+	} {
+		got := run(mk())
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("budget >= n did not reproduce full attention at logit %d", i)
+			}
+		}
+	}
+}
+
+// TestDeterministicEndToEnd ensures the whole pipeline — model, workload,
+// compression, metrics — is reproducible run-to-run.
+func TestDeterministicEndToEnd(t *testing.T) {
+	spec := clusterkv.LongBenchTasks(1024)[0]
+	runOnce := func() float64 {
+		task := clusterkv.BuildTask(spec, 42)
+		cfg := clusterkv.DefaultConfig()
+		cfg.BypassLayers = 0
+		return clusterkv.RunTrace(task.Trace, clusterkv.New(cfg), 128).MeanRecall()
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("pipeline not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestClusterKVBeatsNonRecallableOnRevisit encodes the paper's central
+// claim: when importance returns to earlier tokens, recallable compression
+// (ClusterKV) must beat non-recallable eviction (H2O, StreamingLLM) on
+// needle retrieval.
+func TestClusterKVBeatsNonRecallableOnRevisit(t *testing.T) {
+	spec := clusterkv.TaskSpec{
+		Name: "revisit", BaseScore: 1,
+		CtxLen: 4096, NumNeedles: 3, NeedleTokens: 16, SpreadRegion: 512,
+		AnswerSteps: 24, HopPattern: "revisit", DiffuseNoise: 0.4, QueryGain: 1,
+	}
+	task := clusterkv.BuildTask(spec, 17)
+	budget := 256
+
+	ckvCfg := clusterkv.DefaultConfig()
+	ckvCfg.BypassLayers = 0
+	ckv := clusterkv.RunTrace(task.Trace, clusterkv.New(ckvCfg), budget).MeanNeedleFidelity()
+
+	h2oCfg := clusterkv.DefaultH2OConfig()
+	h2oCfg.BypassLayers = 0
+	h2o := clusterkv.RunTrace(task.Trace, clusterkv.NewH2O(h2oCfg), budget).MeanNeedleFidelity()
+
+	strCfg := clusterkv.DefaultStreamingConfig()
+	strCfg.BypassLayers = 0
+	str := clusterkv.RunTrace(task.Trace, clusterkv.NewStreamingLLM(strCfg), budget).MeanNeedleFidelity()
+
+	if ckv <= h2o || ckv <= str {
+		t.Fatalf("recallability claim failed: ClusterKV=%.3f H2O=%.3f StreamingLLM=%.3f", ckv, h2o, str)
+	}
+}
+
+// TestCostModelHeadline checks the Fig. 12 headline shape end to end through
+// the public facade: compressed decoding beats full KV at long context.
+func TestCostModelHeadline(t *testing.T) {
+	hw := clusterkv.AdaRTX6000()
+	shape := clusterkv.Llama31_8B()
+	full := hw.DecodeStepFull(shape, 32768).Total
+	step := hw.DecodeStepClusterKV(shape, clusterkv.ClusterKVCounts{
+		Budget: 1024, Clusters: 410, MissRate: 0.3,
+	})
+	if full/step.Total < 1.5 {
+		t.Fatalf("throughput gain %v too small", full/step.Total)
+	}
+}
+
+func argmax(x []float32) int {
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,101 @@
+// Package attention implements the attention computations shared by the
+// transformer engine, the compression methods and the evaluation harness:
+// full causal attention, sparse attention over an explicit index set, and
+// raw attention-weight probes used for importance analysis.
+//
+// All routines operate on a single (layer, head) kvcache.Store; batching
+// across heads is done by callers.
+package attention
+
+import (
+	"math"
+
+	"clusterkv/internal/kvcache"
+	"clusterkv/internal/tensor"
+)
+
+// Full computes out = softmax(q·Kᵀ/√d)·V over all n tokens currently in the
+// store. scores is scratch space of length ≥ n (pass nil to allocate).
+// It returns the scratch slice for reuse.
+func Full(out, q []float32, s *kvcache.Store, scores []float32) []float32 {
+	n := s.Len()
+	d := s.HeadDim()
+	if cap(scores) < n {
+		scores = make([]float32, n)
+	}
+	scores = scores[:n]
+	Weights(scores, q, s)
+	tensor.Softmax(scores)
+	tensor.Fill(out, 0)
+	vals := s.Values()
+	for i := 0; i < n; i++ {
+		w := scores[i]
+		if w == 0 {
+			continue
+		}
+		row := vals[i*d : (i+1)*d]
+		for j := range out {
+			out[j] += w * row[j]
+		}
+	}
+	return scores
+}
+
+// Sparse computes out = softmax(q·K_Sᵀ/√d)·V_S over the tokens listed in
+// idx. scores is scratch of length ≥ len(idx). It returns the scratch slice.
+func Sparse(out, q []float32, s *kvcache.Store, idx []int, scores []float32) []float32 {
+	d := s.HeadDim()
+	m := len(idx)
+	if cap(scores) < m {
+		scores = make([]float32, m)
+	}
+	scores = scores[:m]
+	inv := float32(1 / math.Sqrt(float64(d)))
+	for j, p := range idx {
+		scores[j] = tensor.Dot(q, s.Key(p)) * inv
+	}
+	tensor.Softmax(scores)
+	tensor.Fill(out, 0)
+	for j, p := range idx {
+		w := scores[j]
+		if w == 0 {
+			continue
+		}
+		row := s.Value(p)
+		for t := range out {
+			out[t] += w * row[t]
+		}
+	}
+	return scores
+}
+
+// Weights writes the scaled raw attention logits q·k_i/√d for every token i
+// into dst (length must be ≥ s.Len()). No softmax is applied; these are the
+// "attention weights" the paper's selection methods rank by (q·Kᵀ, §III-A).
+func Weights(dst, q []float32, s *kvcache.Store) {
+	n := s.Len()
+	d := s.HeadDim()
+	inv := float32(1 / math.Sqrt(float64(d)))
+	keys := s.Keys()
+	for i := 0; i < n; i++ {
+		row := keys[i*d : (i+1)*d]
+		var dot float32
+		for j := range q {
+			dot += q[j] * row[j]
+		}
+		dst[i] = dot * inv
+	}
+}
+
+// TopTrue returns the indices of the B tokens with the largest attention
+// weights for q — the oracle set I_T^true of the paper's recall-rate metric
+// (§V-B). scores is scratch of length ≥ s.Len().
+func TopTrue(q []float32, s *kvcache.Store, b int, scores []float32) []int {
+	n := s.Len()
+	if cap(scores) < n {
+		scores = make([]float32, n)
+	}
+	scores = scores[:n]
+	Weights(scores, q, s)
+	return tensor.TopK(scores, b)
+}

@@ -1,0 +1,205 @@
+package attention_test
+
+// Selector contract conformance: every compression method in the module is
+// run through the same harness and checked against the interface invariants
+// the engines rely on — valid, deduplicated indices; bypass and
+// budget-covers-context behaviour; stats monotonicity; determinism.
+
+import (
+	"testing"
+
+	"clusterkv/internal/attention"
+	"clusterkv/internal/baselines"
+	"clusterkv/internal/core"
+	"clusterkv/internal/kvcache"
+	"clusterkv/internal/rng"
+)
+
+func allSelectors() map[string]func() attention.Selector {
+	return map[string]func() attention.Selector{
+		"ClusterKV": func() attention.Selector {
+			cfg := core.NewConfig()
+			cfg.BypassLayers = 0
+			return core.New(cfg)
+		},
+		"Quest": func() attention.Selector {
+			cfg := baselines.NewQuestConfig()
+			cfg.BypassLayers = 0
+			return baselines.NewQuest(cfg)
+		},
+		"InfiniGen": func() attention.Selector {
+			cfg := baselines.NewInfiniGenConfig()
+			cfg.BypassLayers = 0
+			return baselines.NewInfiniGen(cfg)
+		},
+		"H2O": func() attention.Selector {
+			cfg := baselines.NewH2OConfig()
+			cfg.BypassLayers = 0
+			return baselines.NewH2O(cfg)
+		},
+		"StreamingLLM": func() attention.Selector {
+			cfg := baselines.NewStreamingConfig()
+			cfg.BypassLayers = 0
+			return baselines.NewStreamingLLM(cfg)
+		},
+		"FullKV": func() attention.Selector { return baselines.NewFullKV() },
+	}
+}
+
+func conformanceStore(seed uint64, n, d int) *kvcache.Store {
+	r := rng.New(seed)
+	s := kvcache.NewStore(d)
+	k := make([]float32, d)
+	v := make([]float32, d)
+	for p := 0; p < n; p++ {
+		grp := p % 7
+		for j := 0; j < d; j++ {
+			k[j] = float32(grp)*0.7 + 0.4*r.NormFloat32()
+			v[j] = r.NormFloat32()
+		}
+		s.Append(k, v)
+	}
+	return s
+}
+
+func conformanceQuery(seed uint64, d int) []float32 {
+	r := rng.New(seed)
+	q := make([]float32, d)
+	for j := range q {
+		q[j] = r.NormFloat32()
+	}
+	return q
+}
+
+func TestSelectorConformance(t *testing.T) {
+	const (
+		n      = 900
+		d      = 16
+		budget = 128
+		steps  = 6
+	)
+	for name, mk := range allSelectors() {
+		t.Run(name, func(t *testing.T) {
+			sel := mk()
+			sel.Reset(1, 2, d)
+			stores := []*kvcache.Store{conformanceStore(1, n, d), conformanceStore(2, n, d)}
+			for h, s := range stores {
+				sel.OnPrefill(0, h, s)
+			}
+			var prevSelected int64
+			for step := 0; step < steps; step++ {
+				for h, s := range stores {
+					s.Append(conformanceQuery(uint64(step*10+h), d), conformanceQuery(uint64(step*10+h+5), d))
+					sel.OnAppend(0, h, s)
+				}
+				for h, s := range stores {
+					q := conformanceQuery(uint64(100+step*2+h), d)
+					idx := sel.Select(0, h, q, s, budget)
+					if name == "FullKV" {
+						if idx != nil {
+							t.Fatal("FullKV must return nil")
+						}
+						continue
+					}
+					if idx == nil {
+						t.Fatalf("budget %d over %d tokens returned full attention", budget, s.Len())
+					}
+					seen := map[int]bool{}
+					for _, p := range idx {
+						if p < 0 || p >= s.Len() {
+							t.Fatalf("index %d out of range [0, %d)", p, s.Len())
+						}
+						if seen[p] {
+							t.Fatalf("duplicate index %d", p)
+						}
+						seen[p] = true
+					}
+					// Selected size stays within 2× budget (methods may
+					// keep mandatory sets, but not explode).
+					if len(idx) > 2*budget {
+						t.Fatalf("selected %d tokens for budget %d", len(idx), budget)
+					}
+				}
+				sel.EndStep()
+				st := sel.Stats()
+				if st.Steps != int64(step+1) {
+					t.Fatalf("steps counter %d after %d EndStep calls", st.Steps, step+1)
+				}
+				if st.TokensSelected < prevSelected {
+					t.Fatal("TokensSelected decreased")
+				}
+				prevSelected = st.TokensSelected
+			}
+		})
+	}
+}
+
+func TestSelectorBudgetCoversContext(t *testing.T) {
+	const d = 8
+	for name, mk := range allSelectors() {
+		t.Run(name, func(t *testing.T) {
+			sel := mk()
+			sel.Reset(1, 1, d)
+			s := conformanceStore(3, 50, d)
+			sel.OnPrefill(0, 0, s)
+			if idx := sel.Select(0, 0, conformanceQuery(4, d), s, 50); idx != nil {
+				t.Fatalf("%s: budget == context must return nil, got %d indices", name, len(idx))
+			}
+		})
+	}
+}
+
+func TestSelectorDeterminism(t *testing.T) {
+	const (
+		n      = 600
+		d      = 8
+		budget = 96
+	)
+	for name, mk := range allSelectors() {
+		if name == "FullKV" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func() []int {
+				sel := mk()
+				sel.Reset(1, 1, d)
+				s := conformanceStore(5, n, d)
+				sel.OnPrefill(0, 0, s)
+				return sel.Select(0, 0, conformanceQuery(6, d), s, budget)
+			}
+			a, b := run(), run()
+			if len(a) != len(b) {
+				t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s selection not deterministic at %d", name, i)
+				}
+			}
+		})
+	}
+}
+
+func TestSelectorResetClearsState(t *testing.T) {
+	const d = 8
+	for name, mk := range allSelectors() {
+		t.Run(name, func(t *testing.T) {
+			sel := mk()
+			sel.Reset(1, 1, d)
+			s := conformanceStore(7, 400, d)
+			sel.OnPrefill(0, 0, s)
+			sel.Select(0, 0, conformanceQuery(8, d), s, 64)
+			sel.EndStep()
+
+			sel.Reset(1, 1, d)
+			if st := sel.Stats(); st.Steps != 0 || st.TokensSelected != 0 {
+				t.Fatalf("%s: Reset did not clear stats: %+v", name, st)
+			}
+			// Must be usable again after Reset.
+			s2 := conformanceStore(9, 400, d)
+			sel.OnPrefill(0, 0, s2)
+			sel.Select(0, 0, conformanceQuery(10, d), s2, 64)
+			sel.EndStep()
+		})
+	}
+}

@@ -1,0 +1,48 @@
+// Package baselines implements the KV-cache compression methods the paper
+// compares against: Quest (page-granularity recall, ICML'24), InfiniGen
+// (SVD partial-key per-token recall, OSDI'24), H2O (non-recallable
+// heavy-hitter eviction, NeurIPS'23), StreamingLLM (attention sinks + recency
+// window, ICLR'24) and the uncompressed FullKV reference.
+//
+// Every method implements attention.Selector so the transformer engine, the
+// trace harness and the benchmark runners treat all methods uniformly.
+package baselines
+
+import (
+	"clusterkv/internal/attention"
+	"clusterkv/internal/kvcache"
+)
+
+// FullKV is the uncompressed reference: Select always returns nil, which the
+// engines interpret as "attend over everything".
+type FullKV struct {
+	stats attention.SelStats
+}
+
+var _ attention.Selector = (*FullKV)(nil)
+
+// NewFullKV returns the full-attention reference selector.
+func NewFullKV() *FullKV { return &FullKV{} }
+
+// Name implements attention.Selector.
+func (f *FullKV) Name() string { return "FullKV" }
+
+// Reset implements attention.Selector.
+func (f *FullKV) Reset(layers, heads, headDim int) { f.stats = attention.SelStats{} }
+
+// OnPrefill implements attention.Selector.
+func (f *FullKV) OnPrefill(layer, head int, s *kvcache.Store) {}
+
+// OnAppend implements attention.Selector.
+func (f *FullKV) OnAppend(layer, head int, s *kvcache.Store) {}
+
+// Select implements attention.Selector; FullKV never restricts attention.
+func (f *FullKV) Select(layer, head int, q []float32, s *kvcache.Store, budget int) []int {
+	return nil
+}
+
+// EndStep implements attention.Selector.
+func (f *FullKV) EndStep() { f.stats.Steps++ }
+
+// Stats implements attention.Selector.
+func (f *FullKV) Stats() attention.SelStats { return f.stats }

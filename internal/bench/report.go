@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is a uniformly formatted experiment result: a titled table plus
+// free-form notes (paper-vs-measured commentary).
+type Report struct {
+	// ID is the experiment identifier ("fig9", "tab1", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Headers are the column names.
+	Headers []string
+	// Rows are the table body.
+	Rows [][]string
+	// Notes carry commentary lines (calibration, paper comparison).
+	Notes []string
+}
+
+// String renders the report as an ASCII table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the report as a GitHub-flavored markdown table.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	b.WriteString("| " + strings.Join(r.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(r.Headers)) + "\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	b.WriteByte('\n')
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "> %s\n", n)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"clusterkv/internal/tensor"
+)
+
+// Book is the incremental cluster registry of one (layer, head): the prefill
+// clustering plus every decode-time batch (paper §III-B: every m decoding
+// steps the m new keys are clustered into C+ new clusters, appended to the
+// existing ones). Cluster ids are global and stable; token positions stored
+// in the Book are absolute sequence positions.
+//
+// The Book also implements the selection-time indexing of paper §IV-C /
+// Fig. 8: given clusters sorted by attention weight, gather member indices
+// via sizes + prefix sums and trim the last cluster to the budget.
+type Book struct {
+	d int
+	// centroids packed row-major, one row per global cluster.
+	centroids []float32
+	// sizes[j] is the member count of global cluster j.
+	sizes []int
+	// members is the concatenation of per-cluster member position lists:
+	// cluster j owns members[prefix[j]:prefix[j+1]] — the Book-level
+	// equivalent of Fig. 8's sorted indices + prefix sums.
+	members []int
+	prefix  []int
+	// clusteredUpTo is the absolute position one past the last clustered
+	// token (sink tokens are excluded and live below Start).
+	clusteredUpTo int
+	start         int
+}
+
+// NewBook returns an empty Book for key vectors of dimension d, whose first
+// clustered token will be at absolute position start (tokens below start are
+// attention sinks, handled outside the Book — paper §III-B).
+func NewBook(d, start int) *Book {
+	return &Book{d: d, start: start, clusteredUpTo: start, prefix: []int{0}}
+}
+
+// Dim returns the key dimension.
+func (b *Book) Dim() int { return b.d }
+
+// Start returns the absolute position of the first clusterable token.
+func (b *Book) Start() int { return b.start }
+
+// ClusteredUpTo returns one past the last clustered absolute position.
+func (b *Book) ClusteredUpTo() int { return b.clusteredUpTo }
+
+// NumClusters returns the number of global clusters.
+func (b *Book) NumClusters() int { return len(b.sizes) }
+
+// Centroid returns the centroid of global cluster j (aliases storage).
+func (b *Book) Centroid(j int) []float32 {
+	return b.centroids[j*b.d : (j+1)*b.d]
+}
+
+// Centroids returns the packed centroid storage (NumClusters()×d row-major).
+func (b *Book) Centroids() []float32 { return b.centroids }
+
+// Size returns the member count of global cluster j.
+func (b *Book) Size(j int) int { return b.sizes[j] }
+
+// Members returns the absolute token positions of global cluster j,
+// aliasing internal storage.
+func (b *Book) Members(j int) []int {
+	return b.members[b.prefix[j]:b.prefix[j+1]]
+}
+
+// TotalTokens returns the number of clustered tokens.
+func (b *Book) TotalTokens() int { return b.clusteredUpTo - b.start }
+
+// AddBatch appends a clustering result covering the keys at absolute
+// positions [b.ClusteredUpTo(), b.ClusteredUpTo()+len(res.Labels)). The
+// result's local indices are offset to absolute positions.
+func (b *Book) AddBatch(res *Result) {
+	offset := b.clusteredUpTo
+	for j := 0; j < res.NumClusters(); j++ {
+		b.centroids = append(b.centroids, res.Centroids.Row(j)...)
+		b.sizes = append(b.sizes, res.Sizes[j])
+		for _, local := range res.Members(j) {
+			b.members = append(b.members, offset+local)
+		}
+		b.prefix = append(b.prefix, len(b.members))
+	}
+	b.clusteredUpTo += len(res.Labels)
+}
+
+// ScoreClusters writes q·µ_j into dst for every global cluster j (inner
+// product scoring, §III-C: "the distance between query vector and centroids
+// is measured with inner product, as it better aligns with attention weight
+// computation"). dst must have length NumClusters(). Returns the number of
+// score-dimension ops performed (C·d).
+func (b *Book) ScoreClusters(dst, q []float32) int64 {
+	c := b.NumClusters()
+	for j := 0; j < c; j++ {
+		dst[j] = tensor.Dot(q, b.Centroid(j))
+	}
+	return int64(c) * int64(b.d)
+}
+
+// SelectTopClusters implements the §IV-C selection & indexing procedure:
+// clusters are taken in descending score order until their cumulative size
+// reaches tokenBudget; the last selected cluster is trimmed so the total
+// equals the budget exactly (when enough clustered tokens exist).
+//
+// It returns the chosen cluster ids (in score order) and the gathered member
+// positions I_T. The trim drops the tail of the last cluster's member list.
+func (b *Book) SelectTopClusters(scores []float32, tokenBudget int) (clusters []int, positions []int) {
+	if tokenBudget <= 0 {
+		return nil, nil
+	}
+	order := tensor.ArgsortDesc(scores)
+	positions = make([]int, 0, tokenBudget)
+	total := 0
+	for _, j := range order {
+		sz := b.sizes[j]
+		if sz == 0 {
+			continue
+		}
+		clusters = append(clusters, j)
+		take := sz
+		if total+take > tokenBudget {
+			take = tokenBudget - total // trim the last selected cluster
+		}
+		positions = append(positions, b.Members(j)[:take]...)
+		total += take
+		if total >= tokenBudget {
+			break
+		}
+	}
+	return clusters, positions
+}

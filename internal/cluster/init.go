@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"math"
+
+	"clusterkv/internal/rng"
+	"clusterkv/internal/tensor"
+)
+
+// seedPlusPlus fills cents with k-means++ seeds: the first centroid is a
+// uniform sample; each next one is drawn with probability proportional to
+// its distance from the nearest already-chosen centroid. Distances follow
+// the configured metric (for Cosine and InnerProduct the "distance" is
+// 1−similarity, floored at zero).
+func seedPlusPlus(cents *tensor.Mat, keys []float32, d int, metric Metric, rnd *rng.RNG) {
+	n := len(keys) / d
+	c := cents.Rows
+	key := func(i int) []float32 { return keys[i*d : (i+1)*d] }
+
+	first := rnd.Intn(n)
+	copy(cents.Row(0), key(first))
+
+	// dist[i] is the distance from key i to the nearest chosen centroid.
+	dist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dist[i] = seedDistance(key(i), cents.Row(0), metric)
+	}
+	for j := 1; j < c; j++ {
+		var total float64
+		for _, v := range dist {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			pick = rnd.Intn(n) // all keys coincide with the chosen set
+		} else {
+			u := rnd.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, v := range dist {
+				acc += v
+				if u < acc {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(cents.Row(j), key(pick))
+		for i := 0; i < n; i++ {
+			if v := seedDistance(key(i), cents.Row(j), metric); v < dist[i] {
+				dist[i] = v
+			}
+		}
+	}
+}
+
+// seedDistance returns a non-negative seeding distance under the metric.
+func seedDistance(a, b []float32, metric Metric) float64 {
+	switch metric {
+	case L2:
+		return float64(tensor.SqDist(a, b))
+	case InnerProduct:
+		return math.Max(0, 1-float64(tensor.Dot(a, b)))
+	default: // Cosine
+		return math.Max(0, 1-float64(tensor.CosineSim(a, b)))
+	}
+}

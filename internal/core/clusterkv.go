@@ -1,0 +1,362 @@
+// Package core implements ClusterKV, the paper's primary contribution:
+// recallable KV-cache compression at the granularity of semantic clusters.
+//
+// Per (layer, head) it maintains a cluster.Book built from the prefill keys
+// (§III-B), extends it every DecodeWindow steps with clusters over the newly
+// generated keys, scores clusters against the query with inner products,
+// selects top clusters under the token budget with last-cluster trimming
+// (§III-C, §IV-C), and serves K/V through a cluster-granularity device cache
+// that retains the clusters selected during the last R decode steps (§IV-D).
+package core
+
+import (
+	"sort"
+
+	"clusterkv/internal/attention"
+	"clusterkv/internal/cluster"
+	"clusterkv/internal/kvcache"
+)
+
+// Config holds every tunable of the method. NewConfig returns the paper's
+// defaults; the Fig. 11b ablations override Metric and C0Override.
+type Config struct {
+	// SinkTokens is the number of initial tokens kept unclustered and always
+	// selected (attention sinks, §III-B). Paper default: 16.
+	SinkTokens int
+	// ClusterRatio sets the prefill cluster count C0 = clusteredLen/ClusterRatio
+	// (paper: C0 = L/80, i.e. ratio 80).
+	ClusterRatio int
+	// C0Override, when > 0, fixes the prefill cluster count regardless of
+	// context length (used by the Fig. 11b ablation C0 ∈ {200,...,800}).
+	C0Override int
+	// MinClusters floors the prefill cluster count (default 4).
+	MinClusters int
+	// DecodeWindow is m: decode-time clustering is applied every m generated
+	// tokens (paper default 320).
+	DecodeWindow int
+	// DecodeClusters is C+: clusters created per decode-time batch (paper
+	// default 4).
+	DecodeClusters int
+	// CacheR is the cache retention horizon in decode steps (paper default 1;
+	// 0 disables the cache so every selected token is a transfer).
+	CacheR int
+	// BypassLayers disables selection on the first N layers, matching the
+	// Quest-aligned evaluation setting (§V-A). Paper default 2.
+	BypassLayers int
+	// Metric is the clustering distance (paper default cosine).
+	Metric cluster.Metric
+	// Init is the K-means seeding strategy (paper default: random sampling;
+	// PlusPlusInit is an extension ablation).
+	Init cluster.Init
+	// KMeansIters caps K-means iterations (default 16).
+	KMeansIters int
+	// Seed makes clustering deterministic.
+	Seed uint64
+	// PrefillClusterer, when non-nil, replaces the built-in K-means call for
+	// prefill clustering. keys holds the post-sink prefill keys (row-major),
+	// d the key dimension and c the requested cluster count; the returned
+	// Result must use indices local to keys. Harnesses use this to memoise
+	// clustering across budget sweeps; tests use it to inject degenerate
+	// clusterings.
+	PrefillClusterer func(layer, head int, keys []float32, d, c int) *cluster.Result
+}
+
+// NewConfig returns the paper's default configuration.
+func NewConfig() Config {
+	return Config{
+		SinkTokens:     16,
+		ClusterRatio:   80,
+		MinClusters:    4,
+		DecodeWindow:   320,
+		DecodeClusters: 4,
+		CacheR:         1,
+		BypassLayers:   2,
+		Metric:         cluster.Cosine,
+		KMeansIters:    16,
+	}
+}
+
+// headState is the per-(layer, head) working set.
+type headState struct {
+	book *cluster.Book
+	// pendingFrom is the first absolute position not yet clustered (decode
+	// tail); tokens in [pendingFrom, store.Len()) are device-resident and
+	// always attended.
+	pendingFrom int
+	// cache maps cluster id -> last step it was selected. Entries older than
+	// CacheR steps are evicted at step end.
+	cache map[int]int64
+	// ledger tracks simulated residency and transfer counts.
+	ledger *kvcache.Ledger
+	// scratch for cluster scores.
+	scores []float32
+}
+
+// ClusterKV implements attention.Selector.
+type ClusterKV struct {
+	cfg    Config
+	layers int
+	heads  int
+	d      int
+	step   int64
+	states []*headState // layer*heads + head
+	stats  attention.SelStats
+}
+
+var _ attention.Selector = (*ClusterKV)(nil)
+
+// New returns a ClusterKV selector with the given configuration.
+func New(cfg Config) *ClusterKV {
+	if cfg.ClusterRatio <= 0 {
+		cfg.ClusterRatio = 80
+	}
+	if cfg.MinClusters <= 0 {
+		cfg.MinClusters = 4
+	}
+	if cfg.DecodeWindow <= 0 {
+		cfg.DecodeWindow = 320
+	}
+	if cfg.DecodeClusters <= 0 {
+		cfg.DecodeClusters = 4
+	}
+	return &ClusterKV{cfg: cfg}
+}
+
+// Name implements attention.Selector.
+func (c *ClusterKV) Name() string { return "ClusterKV" }
+
+// Config returns the active configuration.
+func (c *ClusterKV) Config() Config { return c.cfg }
+
+// Reset implements attention.Selector.
+func (c *ClusterKV) Reset(layers, heads, headDim int) {
+	c.layers, c.heads, c.d = layers, heads, headDim
+	c.step = 0
+	c.stats = attention.SelStats{}
+	c.states = make([]*headState, layers*heads)
+	for i := range c.states {
+		c.states[i] = &headState{cache: make(map[int]int64)}
+	}
+}
+
+func (c *ClusterKV) state(layer, head int) *headState {
+	return c.states[layer*c.heads+head]
+}
+
+// OnPrefill implements attention.Selector: cluster the prefill keys beyond
+// the sink prefix into C0 = clusteredLen/ClusterRatio clusters.
+func (c *ClusterKV) OnPrefill(layer, head int, s *kvcache.Store) {
+	st := c.state(layer, head)
+	n := s.Len()
+	sinks := c.cfg.SinkTokens
+	if sinks > n {
+		sinks = n
+	}
+	st.book = cluster.NewBook(s.HeadDim(), sinks)
+	st.ledger = kvcache.NewLedger()
+	st.ledger.Extend(n, kvcache.TierDevice)
+	st.pendingFrom = n
+	if layer < c.cfg.BypassLayers {
+		return // bypass layers keep full KV on device; no clustering
+	}
+	clusteredLen := n - sinks
+	if clusteredLen <= 0 {
+		return
+	}
+	c0 := c.prefillClusterCount(clusteredLen)
+	keys := s.Keys()[sinks*s.HeadDim():]
+	var res *cluster.Result
+	if c.cfg.PrefillClusterer != nil {
+		res = c.cfg.PrefillClusterer(layer, head, keys, s.HeadDim(), c0)
+	} else {
+		res = cluster.KMeans(keys, s.HeadDim(), c0, cluster.Config{
+			Metric:   c.cfg.Metric,
+			MaxIters: c.cfg.KMeansIters,
+			Init:     c.cfg.Init,
+			Seed:     c.cfg.Seed ^ mix(uint64(layer), uint64(head)),
+		})
+	}
+	st.book.AddBatch(res)
+	c.stats.MetaOps += res.AssignOps
+	// Post-prefill offload (Fig. 5): everything beyond the sinks moves to
+	// host memory; sinks stay resident.
+	st.ledger.Offload(sinks, n)
+}
+
+func (c *ClusterKV) prefillClusterCount(clusteredLen int) int {
+	if c.cfg.C0Override > 0 {
+		return c.cfg.C0Override
+	}
+	c0 := clusteredLen / c.cfg.ClusterRatio
+	if c0 < c.cfg.MinClusters {
+		c0 = c.cfg.MinClusters
+	}
+	return c0
+}
+
+// OnAppend implements attention.Selector: register the newly decoded token;
+// every DecodeWindow appends, cluster the pending tail into DecodeClusters
+// new clusters and offload it (§III-B, §IV-A "Step m").
+func (c *ClusterKV) OnAppend(layer, head int, s *kvcache.Store) {
+	st := c.state(layer, head)
+	st.ledger.Extend(s.Len()-st.ledger.Len(), kvcache.TierDevice)
+	if layer < c.cfg.BypassLayers {
+		st.pendingFrom = s.Len()
+		return
+	}
+	pending := s.Len() - st.pendingFrom
+	if pending < c.cfg.DecodeWindow {
+		return
+	}
+	d := s.HeadDim()
+	keys := s.Keys()[st.pendingFrom*d : s.Len()*d]
+	res := cluster.KMeans(keys, d, c.cfg.DecodeClusters, cluster.Config{
+		Metric:   c.cfg.Metric,
+		MaxIters: c.cfg.KMeansIters,
+		Init:     c.cfg.Init,
+		Seed:     c.cfg.Seed ^ mix(uint64(layer), uint64(head)) ^ uint64(s.Len()),
+	})
+	// The Book requires batches to be contiguous from ClusteredUpTo; the
+	// pending tail starts exactly there by construction.
+	st.book.AddBatch(res)
+	c.stats.MetaOps += res.AssignOps
+	st.ledger.Offload(st.pendingFrom, s.Len())
+	st.pendingFrom = s.Len()
+}
+
+// Select implements attention.Selector (§III-C, §IV-C): score centroids with
+// inner products, take clusters in descending score order under the budget
+// with last-cluster trimming, always include sinks and the unclustered
+// decode tail, and account cache hits/misses at cluster granularity (§IV-D).
+func (c *ClusterKV) Select(layer, head int, q []float32, s *kvcache.Store, budget int) []int {
+	if layer < c.cfg.BypassLayers {
+		return nil
+	}
+	n := s.Len()
+	if budget >= n {
+		return nil
+	}
+	st := c.state(layer, head)
+	sinks := st.book.Start()
+	tail := n - st.pendingFrom
+
+	// Mandatory tokens: sinks + unclustered decode tail.
+	mandatory := sinks + tail
+	clusterBudget := budget - mandatory
+	if clusterBudget < 0 {
+		clusterBudget = 0
+	}
+
+	book := st.book
+	cn := book.NumClusters()
+	if cap(st.scores) < cn {
+		st.scores = make([]float32, cn)
+	}
+	scores := st.scores[:cn]
+	c.stats.ScoreOps += book.ScoreClusters(scores, q)
+
+	clusters, positions := book.SelectTopClusters(scores, clusterBudget)
+
+	// Assemble I_T: sinks, selected cluster members, decode tail.
+	out := make([]int, 0, mandatory+len(positions))
+	for i := 0; i < sinks; i++ {
+		out = append(out, i)
+	}
+	out = append(out, positions...)
+	for i := st.pendingFrom; i < n; i++ {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+
+	// Cache accounting (§IV-D): a selected cluster present in the cache is a
+	// hit for all the tokens taken from it; otherwise its taken tokens are
+	// loaded host→device. Sinks and the decode tail are always device
+	// resident and excluded from hit-rate accounting.
+	taken := clusterTakenCounts(book, clusters, positions)
+	for i, cl := range clusters {
+		if _, ok := st.cache[cl]; ok {
+			c.stats.TokensHit += int64(taken[i])
+		} else {
+			c.stats.TokensLoaded += int64(taken[i])
+		}
+		st.cache[cl] = c.step
+	}
+	// Ledger keeps exact per-token residency (the cache retains whole
+	// clusters, so fetch every selected position).
+	st.ledger.Fetch(positions)
+
+	c.stats.SelectCalls++
+	c.stats.TokensSelected += int64(len(out))
+	c.stats.ClustersSelected += int64(len(clusters))
+	return out
+}
+
+// clusterTakenCounts returns, aligned with clusters, how many of each
+// cluster's members appear in positions (all clusters are taken fully except
+// possibly the last, which may be trimmed).
+func clusterTakenCounts(book *cluster.Book, clusters []int, positions []int) []int {
+	taken := make([]int, len(clusters))
+	remaining := len(positions)
+	for i, cl := range clusters {
+		sz := book.Size(cl)
+		if sz > remaining {
+			sz = remaining
+		}
+		taken[i] = sz
+		remaining -= sz
+	}
+	return taken
+}
+
+// EndStep implements attention.Selector: advance the step counter and evict
+// cache entries older than CacheR steps, returning their clusters' tokens to
+// host residency.
+func (c *ClusterKV) EndStep() {
+	c.step++
+	c.stats.Steps++
+	if c.cfg.CacheR < 0 {
+		return // negative R: infinite cache (ablation)
+	}
+	// A cluster selected at step s stays cached through the selections of
+	// steps s+1..s+R ("the KV of selected tokens from the last R decoding
+	// steps", §IV-D); R=0 disables the cache.
+	for _, st := range c.states {
+		if st.book == nil {
+			continue
+		}
+		for cl, last := range st.cache {
+			if c.step-last > int64(c.cfg.CacheR) {
+				delete(st.cache, cl)
+				st.ledger.Evict(st.book.Members(cl))
+			}
+		}
+	}
+}
+
+// Stats implements attention.Selector.
+func (c *ClusterKV) Stats() attention.SelStats { return c.stats }
+
+// Book exposes the cluster registry of one (layer, head) for analysis
+// tooling (fragmentation studies, examples). It returns nil before prefill.
+func (c *ClusterKV) Book(layer, head int) *cluster.Book {
+	if c.states == nil {
+		return nil
+	}
+	return c.state(layer, head).book
+}
+
+// Ledger exposes the residency ledger of one (layer, head).
+func (c *ClusterKV) Ledger(layer, head int) *kvcache.Ledger {
+	if c.states == nil {
+		return nil
+	}
+	return c.state(layer, head).ledger
+}
+
+func mix(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 ^ (b + 0x7f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}

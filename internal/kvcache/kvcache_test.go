@@ -1,0 +1,133 @@
+package kvcache
+
+import "testing"
+
+func TestStoreAppendAndAccess(t *testing.T) {
+	s := NewStore(2)
+	if s.Len() != 0 {
+		t.Fatal("new store not empty")
+	}
+	pos := s.Append([]float32{1, 2}, []float32{3, 4})
+	if pos != 0 || s.Len() != 1 {
+		t.Fatalf("Append pos=%d len=%d", pos, s.Len())
+	}
+	if k := s.Key(0); k[0] != 1 || k[1] != 2 {
+		t.Fatalf("Key(0) = %v", k)
+	}
+	if v := s.Value(0); v[0] != 3 || v[1] != 4 {
+		t.Fatalf("Value(0) = %v", v)
+	}
+}
+
+func TestStoreAppendBatch(t *testing.T) {
+	s := NewStore(2)
+	first := s.AppendBatch([]float32{1, 2, 3, 4}, []float32{5, 6, 7, 8})
+	if first != 0 || s.Len() != 2 {
+		t.Fatalf("AppendBatch first=%d len=%d", first, s.Len())
+	}
+	if s.Key(1)[0] != 3 || s.Value(1)[1] != 8 {
+		t.Fatal("AppendBatch wrong layout")
+	}
+	if len(s.Keys()) != 4 || len(s.Values()) != 4 {
+		t.Fatal("packed accessors wrong length")
+	}
+}
+
+func TestStoreClone(t *testing.T) {
+	s := NewStore(1)
+	s.Append([]float32{1}, []float32{2})
+	c := s.Clone()
+	c.Append([]float32{9}, []float32{9})
+	if s.Len() != 1 {
+		t.Fatal("Clone shares length")
+	}
+	c.Key(0)[0] = 42
+	if s.Key(0)[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestStoreTruncate(t *testing.T) {
+	s := NewStore(1)
+	for i := 0; i < 5; i++ {
+		s.Append([]float32{float32(i)}, []float32{0})
+	}
+	s.Truncate(2)
+	if s.Len() != 2 || s.Key(1)[0] != 1 {
+		t.Fatalf("Truncate len=%d", s.Len())
+	}
+}
+
+func TestStorePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"dim-mismatch", func() { NewStore(2).Append([]float32{1}, []float32{1, 2}) }},
+		{"batch-mismatch", func() { NewStore(2).AppendBatch([]float32{1, 2, 3}, []float32{1, 2, 3}) }},
+		{"zero-dim", func() { NewStore(0) }},
+		{"truncate-range", func() { NewStore(1).Truncate(1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			c.f()
+		})
+	}
+}
+
+func TestLedgerFetchCountsTransfers(t *testing.T) {
+	l := NewLedger()
+	l.Extend(4, TierDevice)
+	l.OffloadAll()
+	moved := l.Fetch([]int{0, 1})
+	if moved != 2 || l.HostToDevice != 2 || l.DeviceHits != 0 {
+		t.Fatalf("fetch after offload: moved=%d h2d=%d hits=%d", moved, l.HostToDevice, l.DeviceHits)
+	}
+	// Second fetch of the same tokens: all hits.
+	moved = l.Fetch([]int{0, 1})
+	if moved != 0 || l.DeviceHits != 2 {
+		t.Fatalf("second fetch: moved=%d hits=%d", moved, l.DeviceHits)
+	}
+}
+
+func TestLedgerEvict(t *testing.T) {
+	l := NewLedger()
+	l.Extend(2, TierDevice)
+	l.Evict([]int{0})
+	if l.TierOf(0) != TierHost || l.TierOf(1) != TierDevice {
+		t.Fatal("Evict tier state wrong")
+	}
+	if l.HostToDevice != 0 {
+		t.Fatal("Evict must not count transfers")
+	}
+}
+
+func TestLedgerPartialOffload(t *testing.T) {
+	l := NewLedger()
+	l.Extend(4, TierDevice)
+	l.Offload(1, 3)
+	want := []Tier{TierDevice, TierHost, TierHost, TierDevice}
+	for i, w := range want {
+		if l.TierOf(i) != w {
+			t.Fatalf("token %d tier = %v, want %v", i, l.TierOf(i), w)
+		}
+	}
+}
+
+func TestLedgerResetCounters(t *testing.T) {
+	l := NewLedger()
+	l.Extend(1, TierHost)
+	l.Fetch([]int{0})
+	l.ResetCounters()
+	if l.HostToDevice != 0 || l.DeviceHits != 0 {
+		t.Fatal("ResetCounters did not zero")
+	}
+	if l.TierOf(0) != TierDevice {
+		t.Fatal("ResetCounters must keep residency")
+	}
+}

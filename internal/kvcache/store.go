@@ -1,0 +1,98 @@
+// Package kvcache implements the key/value cache substrate: per-(layer, head)
+// append-only stores for key and value vectors, with gather primitives used
+// by sparse attention, and a two-tier (host/device) residency ledger used by
+// the offloading simulation.
+//
+// The paper's system offloads the full K/V to CPU memory after prefill and
+// keeps only selected clusters on the GPU (§IV-A). In this reproduction the
+// data always lives in process memory; the Tier ledger records *where the
+// simulated copy resides* so the cost model can charge PCIe transfers for
+// host-resident tokens.
+package kvcache
+
+import "fmt"
+
+// Store holds the K and V vectors of a single (layer, head) pair.
+// Vectors are appended in token order; index == token position.
+type Store struct {
+	headDim int
+	keys    []float32
+	vals    []float32
+	n       int
+}
+
+// NewStore returns an empty store for vectors of the given head dimension.
+func NewStore(headDim int) *Store {
+	if headDim <= 0 {
+		panic("kvcache: non-positive head dimension")
+	}
+	return &Store{headDim: headDim}
+}
+
+// HeadDim returns the per-head channel count.
+func (s *Store) HeadDim() int { return s.headDim }
+
+// Len returns the number of tokens stored.
+func (s *Store) Len() int { return s.n }
+
+// Append adds the key and value of one token and returns its position.
+func (s *Store) Append(k, v []float32) int {
+	if len(k) != s.headDim || len(v) != s.headDim {
+		panic(fmt.Sprintf("kvcache: Append dim mismatch: got k=%d v=%d want %d", len(k), len(v), s.headDim))
+	}
+	s.keys = append(s.keys, k...)
+	s.vals = append(s.vals, v...)
+	s.n++
+	return s.n - 1
+}
+
+// AppendBatch adds n tokens whose keys and values are packed row-major in
+// ks and vs. It returns the position of the first appended token.
+func (s *Store) AppendBatch(ks, vs []float32) int {
+	if len(ks) != len(vs) || len(ks)%s.headDim != 0 {
+		panic("kvcache: AppendBatch length mismatch")
+	}
+	first := s.n
+	s.keys = append(s.keys, ks...)
+	s.vals = append(s.vals, vs...)
+	s.n += len(ks) / s.headDim
+	return first
+}
+
+// Key returns the key vector of token i (aliasing internal storage).
+func (s *Store) Key(i int) []float32 {
+	return s.keys[i*s.headDim : (i+1)*s.headDim]
+}
+
+// Value returns the value vector of token i (aliasing internal storage).
+func (s *Store) Value(i int) []float32 {
+	return s.vals[i*s.headDim : (i+1)*s.headDim]
+}
+
+// Keys returns the packed key storage for tokens [0, Len()). Row-major,
+// aliasing internal storage; callers must not resize.
+func (s *Store) Keys() []float32 { return s.keys[:s.n*s.headDim] }
+
+// Values returns the packed value storage, aliasing internal storage.
+func (s *Store) Values() []float32 { return s.vals[:s.n*s.headDim] }
+
+// Clone returns a deep copy of the store. Used to snapshot the post-prefill
+// state so several compression methods can decode from identical caches.
+func (s *Store) Clone() *Store {
+	out := NewStore(s.headDim)
+	out.keys = append([]float32(nil), s.keys...)
+	out.vals = append([]float32(nil), s.vals...)
+	out.n = s.n
+	return out
+}
+
+// Truncate drops all tokens at positions >= n. Used by harnesses that rewind
+// a sequence to a snapshot point.
+func (s *Store) Truncate(n int) {
+	if n < 0 || n > s.n {
+		panic("kvcache: Truncate out of range")
+	}
+	s.keys = s.keys[:n*s.headDim]
+	s.vals = s.vals[:n*s.headDim]
+	s.n = n
+}

@@ -1,0 +1,87 @@
+package kvcache
+
+// Tier identifies where the simulated copy of a token's KV resides.
+type Tier uint8
+
+const (
+	// TierDevice means the token's KV is resident in (simulated) GPU memory.
+	TierDevice Tier = iota
+	// TierHost means the token's KV was offloaded to (simulated) CPU memory
+	// and must be transferred over PCIe before attention can read it.
+	TierHost
+)
+
+// Ledger tracks per-token residency for one (layer, head) store and counts
+// simulated transfers. It is the bookkeeping behind the paper's Fig. 5
+// offload arrows and the §IV-D cache-hit accounting.
+type Ledger struct {
+	tiers []Tier
+	// HostToDevice counts tokens transferred host→device (cache misses).
+	HostToDevice int64
+	// DeviceHits counts tokens that were already device-resident when
+	// requested (cache hits).
+	DeviceHits int64
+}
+
+// NewLedger returns a ledger with no tokens.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Extend registers n new tokens at the given tier (tokens are created on the
+// device during prefill/decode, then typically offloaded).
+func (l *Ledger) Extend(n int, t Tier) {
+	for i := 0; i < n; i++ {
+		l.tiers = append(l.tiers, t)
+	}
+}
+
+// Len returns the number of registered tokens.
+func (l *Ledger) Len() int { return len(l.tiers) }
+
+// OffloadAll marks every token as host-resident (the post-prefill offload of
+// Fig. 5, and the periodic decode-time offload every m steps).
+func (l *Ledger) OffloadAll() {
+	for i := range l.tiers {
+		l.tiers[i] = TierHost
+	}
+}
+
+// Offload marks tokens [from, to) as host-resident.
+func (l *Ledger) Offload(from, to int) {
+	for i := from; i < to; i++ {
+		l.tiers[i] = TierHost
+	}
+}
+
+// Fetch requests the given token positions for attention. Host-resident
+// tokens are counted as transfers and become device-resident; device-resident
+// tokens are counted as hits. It returns the number of tokens transferred.
+func (l *Ledger) Fetch(positions []int) int {
+	moved := 0
+	for _, p := range positions {
+		if l.tiers[p] == TierHost {
+			l.tiers[p] = TierDevice
+			l.HostToDevice++
+			moved++
+		} else {
+			l.DeviceHits++
+		}
+	}
+	return moved
+}
+
+// Evict marks the given positions host-resident without counting a transfer
+// (device memory reclaimed; the host copy was never deleted).
+func (l *Ledger) Evict(positions []int) {
+	for _, p := range positions {
+		l.tiers[p] = TierHost
+	}
+}
+
+// TierOf reports the current tier of token p.
+func (l *Ledger) TierOf(p int) Tier { return l.tiers[p] }
+
+// ResetCounters zeroes the transfer counters, keeping residency state.
+func (l *Ledger) ResetCounters() {
+	l.HostToDevice = 0
+	l.DeviceHits = 0
+}

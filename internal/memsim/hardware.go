@@ -1,0 +1,112 @@
+// Package memsim is the analytic GPU/PCIe cost model behind the inference
+// efficiency experiments (paper Fig. 12/13, §V-C). The paper measures wall
+// clock on an NVIDIA Ada 6000; this reproduction runs the *algorithms* for
+// real (producing byte counts, hit rates and operation counts) and feeds
+// those counts through this model to obtain latencies.
+//
+// Every hardware constant lives in this file with its justification. The
+// model is deliberately simple — bandwidth terms, an efficiency factor for
+// gather-heavy attention kernels, kernel-launch overheads, and copy/compute
+// overlap via max() — because those are the effects that produce the paper's
+// latency shapes.
+package memsim
+
+// Hardware models one GPU + host link.
+type Hardware struct {
+	// Name identifies the device in reports.
+	Name string
+	// HBMBandwidth is the effective device-memory bandwidth for streaming
+	// weights during GEMV-dominated decode (bytes/s).
+	HBMBandwidth float64
+	// AttnFullBandwidth is the effective bandwidth of full-context decode
+	// attention kernels. Single-batch long-context attention is launch- and
+	// gather-bound and reaches only a fraction of peak HBM bandwidth.
+	AttnFullBandwidth float64
+	// AttnGatherBandwidth is the effective bandwidth when attending over a
+	// small gathered KV buffer (selected tokens, contiguous after gather).
+	AttnGatherBandwidth float64
+	// PCIeBandwidth is the effective host→device copy bandwidth (bytes/s).
+	PCIeBandwidth float64
+	// ComputeFLOPS is the effective dense fp16 throughput for prefill GEMMs.
+	ComputeFLOPS float64
+	// HostFLOPS is the effective host-side compute throughput, charged for
+	// selection work a method performs on the CPU (InfiniGen's per-token
+	// partial-score path inside the FlexGen Python pipeline).
+	HostFLOPS float64
+	// LaunchOverhead is the fixed per-decode-step kernel-launch + sync cost
+	// in seconds (dozens of small launches per step).
+	LaunchOverhead float64
+}
+
+// AdaRTX6000 returns the paper's GPU (NVIDIA RTX 6000 Ada Generation):
+// 48 GB GDDR6 at 960 GB/s, ~182 TFLOPS dense fp16, PCIe 4.0 ×16.
+// Efficiency factors: weight-streaming GEMV reaches ~85% of peak; published
+// single-batch long-context decode-attention kernels sustain roughly
+// 100–200 GB/s (we use 150 GB/s); attention over a compact gathered buffer
+// reaches ~400 GB/s; effective pinned-memory PCIe 4.0 ×16 is ~25 GB/s;
+// dense prefill GEMMs reach ~55% of peak tensor throughput.
+func AdaRTX6000() Hardware {
+	return Hardware{
+		Name:                "NVIDIA Ada 6000",
+		HBMBandwidth:        0.85 * 960e9,
+		AttnFullBandwidth:   150e9,
+		AttnGatherBandwidth: 400e9,
+		PCIeBandwidth:       25e9,
+		ComputeFLOPS:        0.55 * 182e12,
+		HostFLOPS:           5e9,
+		LaunchOverhead:      300e-6,
+	}
+}
+
+// ModelShape captures the dimensions of a served model that the cost model
+// needs. Weights and KV are fp16 (2 bytes/scalar).
+type ModelShape struct {
+	Name      string
+	Params    int64 // total parameter count
+	NLayers   int
+	NHeads    int
+	NKVHeads  int
+	HeadDim   int
+	DModel    int
+	FFNDim    int
+	VocabSize int
+}
+
+const bytesPerScalar = 2 // fp16
+
+// Llama31_8B returns the shape of Llama-3.1-8B (GQA: 32 q heads, 8 kv heads).
+func Llama31_8B() ModelShape {
+	return ModelShape{
+		Name: "Llama-3.1-8B", Params: 8_030_000_000,
+		NLayers: 32, NHeads: 32, NKVHeads: 8, HeadDim: 128,
+		DModel: 4096, FFNDim: 14336, VocabSize: 128256,
+	}
+}
+
+// OPT67B returns the shape of OPT-6.7B (MHA, 2k context window).
+func OPT67B() ModelShape {
+	return ModelShape{
+		Name: "OPT-6.7B", Params: 6_700_000_000,
+		NLayers: 32, NHeads: 32, NKVHeads: 32, HeadDim: 128,
+		DModel: 4096, FFNDim: 16384, VocabSize: 50272,
+	}
+}
+
+// GLM49B returns the shape of GLM4-9B-Chat (GQA with 2 kv heads… modeled
+// with its published 32-layer, 4096-wide config).
+func GLM49B() ModelShape {
+	return ModelShape{
+		Name: "GLM4-9B", Params: 9_400_000_000,
+		NLayers: 40, NHeads: 32, NKVHeads: 2, HeadDim: 128,
+		DModel: 4096, FFNDim: 13696, VocabSize: 151552,
+	}
+}
+
+// WeightBytes returns the fp16 parameter footprint.
+func (m ModelShape) WeightBytes() float64 { return float64(m.Params) * bytesPerScalar }
+
+// KVBytesPerToken returns the fp16 K+V bytes one token occupies across all
+// layers.
+func (m ModelShape) KVBytesPerToken() float64 {
+	return float64(2*m.NKVHeads*m.HeadDim*m.NLayers) * bytesPerScalar
+}

@@ -1,0 +1,108 @@
+// Package model implements a complete, deterministic Transformer inference
+// engine in pure Go: token embedding, RMSNorm, rotary position embedding,
+// grouped-query multi-head attention with a pluggable KV-selection policy,
+// SwiGLU feed-forward blocks, and a tied LM head. It supports the two-stage
+// prefill/decode flow of LLM serving (paper §II-A) and exposes per-position
+// logits for perplexity evaluation.
+//
+// The engine substitutes for GLM4-9B/Llama-3.1-8B (see DESIGN.md §1): the
+// weights are synthetic but *structured* so that the attention phenomena
+// ClusterKV exploits are present — semantic clustering of keys (topic
+// structured embeddings propagated through shared query/key subspaces),
+// attention sinks on initial tokens, and high-magnitude outlier key channels
+// (the KIVI observation motivating cosine clustering distance, §III-B).
+package model
+
+// Config describes a model shape plus the synthetic-structure knobs.
+type Config struct {
+	// VocabSize is the token vocabulary size.
+	VocabSize int
+	// DModel is the residual width.
+	DModel int
+	// NLayers is the number of Transformer layers.
+	NLayers int
+	// NHeads is the number of query heads.
+	NHeads int
+	// NKVHeads is the number of key/value heads (GQA when < NHeads; must
+	// divide NHeads).
+	NKVHeads int
+	// HeadDim is the per-head channel count.
+	HeadDim int
+	// FFNDim is the SwiGLU hidden width.
+	FFNDim int
+	// RopeTheta is the rotary base (10000 in Llama-family models).
+	RopeTheta float64
+
+	// NTopics partitions the vocabulary into semantic topics; embeddings of
+	// a topic share a base direction, which is what gives keys their cluster
+	// structure.
+	NTopics int
+	// TopicStrength scales the shared topic direction relative to per-token
+	// noise (≈2 gives clearly clustered but non-degenerate keys).
+	TopicStrength float32
+	// QKAlign in [0,1] blends a shared subspace into the query and key
+	// projections so attention is content-matching (similar hidden states
+	// attend to each other), as in trained models.
+	QKAlign float32
+	// OutlierChannels is the number of key channels per head whose
+	// projection rows are scaled by OutlierScale — reproducing the
+	// large-magnitude outlier channels of real LLM keys.
+	OutlierChannels int
+	// OutlierScale is the magnitude multiplier of outlier channels.
+	OutlierScale float32
+	// SinkTokens is the number of initial positions that receive the
+	// attention-sink key offset.
+	SinkTokens int
+	// SinkStrength controls how strongly every query attends to the sink
+	// positions.
+	SinkStrength float32
+
+	// Seed drives all weight generation.
+	Seed uint64
+}
+
+// DefaultConfig returns the small evaluation model used across experiments:
+// 4 layers × 4 heads × 16 channels (d_model 64). Small enough to run 8k-token
+// contexts on one CPU core, large enough for the attention phenomena to show.
+func DefaultConfig() Config {
+	return Config{
+		VocabSize: 512,
+		DModel:    64,
+		NLayers:   4,
+		NHeads:    4,
+		NKVHeads:  4,
+		HeadDim:   16,
+		FFNDim:    128,
+		RopeTheta: 10000,
+
+		NTopics:         16,
+		TopicStrength:   2.0,
+		QKAlign:         0.7,
+		OutlierChannels: 2,
+		OutlierScale:    6.0,
+		SinkTokens:      16,
+		SinkStrength:    1.5,
+		Seed:            0x5eed,
+	}
+}
+
+// Validate panics with a descriptive message on an inconsistent config.
+func (c Config) Validate() {
+	switch {
+	case c.VocabSize < 2:
+		panic("model: VocabSize must be >= 2")
+	case c.DModel <= 0 || c.NLayers <= 0 || c.NHeads <= 0 || c.HeadDim <= 0 || c.FFNDim <= 0:
+		panic("model: non-positive dimension")
+	case c.NKVHeads <= 0 || c.NHeads%c.NKVHeads != 0:
+		panic("model: NKVHeads must divide NHeads")
+	case c.NTopics <= 0 || c.NTopics > c.VocabSize:
+		panic("model: NTopics must be in [1, VocabSize]")
+	case c.RopeTheta <= 1:
+		panic("model: RopeTheta must exceed 1")
+	case c.HeadDim%2 != 0:
+		panic("model: HeadDim must be even (RoPE pairs)")
+	}
+}
+
+// GroupSize returns the number of query heads sharing one KV head.
+func (c Config) GroupSize() int { return c.NHeads / c.NKVHeads }

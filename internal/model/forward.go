@@ -1,0 +1,361 @@
+package model
+
+import (
+	"math"
+
+	"clusterkv/internal/attention"
+	"clusterkv/internal/kvcache"
+	"clusterkv/internal/tensor"
+)
+
+// Model is an immutable set of weights plus configuration. A Model is safe
+// for concurrent use; per-sequence state lives in Sequence.
+type Model struct {
+	cfg Config
+	w   *weights
+	// ropeCos/ropeSin are lazily grown tables: [pos][HeadDim/2].
+	ropeCos [][]float32
+	ropeSin [][]float32
+}
+
+// New builds a model with deterministic structured weights.
+func New(cfg Config) *Model {
+	cfg.Validate()
+	return &Model{cfg: cfg, w: buildWeights(cfg)}
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// ropeAt returns the cos/sin tables for a position, growing the cache.
+func (m *Model) ropeAt(pos int) (cosv, sinv []float32) {
+	for len(m.ropeCos) <= pos {
+		p := len(m.ropeCos)
+		half := m.cfg.HeadDim / 2
+		c := make([]float32, half)
+		s := make([]float32, half)
+		for i := 0; i < half; i++ {
+			freq := math.Pow(m.cfg.RopeTheta, -2*float64(i)/float64(m.cfg.HeadDim))
+			ang := float64(p) * freq
+			c[i] = float32(math.Cos(ang))
+			s[i] = float32(math.Sin(ang))
+		}
+		m.ropeCos = append(m.ropeCos, c)
+		m.ropeSin = append(m.ropeSin, s)
+	}
+	return m.ropeCos[pos], m.ropeSin[pos]
+}
+
+// applyRope rotates v (HeadDim) in place for the given position.
+func (m *Model) applyRope(v []float32, pos int) {
+	cosv, sinv := m.ropeAt(pos)
+	half := len(v) / 2
+	for i := 0; i < half; i++ {
+		a, b := v[2*i], v[2*i+1]
+		v[2*i] = a*cosv[i] - b*sinv[i]
+		v[2*i+1] = a*sinv[i] + b*cosv[i]
+	}
+}
+
+// rmsNorm writes gain⊙x/rms(x) into dst (dst may alias x).
+func rmsNorm(dst, x, gain []float32) {
+	var ss float64
+	for _, v := range x {
+		ss += float64(v) * float64(v)
+	}
+	inv := float32(1 / math.Sqrt(ss/float64(len(x))+1e-6))
+	for i := range x {
+		dst[i] = x[i] * inv * gain[i]
+	}
+}
+
+func silu(x float32) float32 {
+	return x / (1 + float32(math.Exp(float64(-x))))
+}
+
+// Sequence is one generation stream: its KV caches, its selection policy and
+// its position counter. Create with Model.NewSequence.
+type Sequence struct {
+	m      *Model
+	sel    attention.Selector // nil = always full attention
+	budget int
+	stores []*kvcache.Store // layer*NKVHeads + kvHead
+	pos    int
+
+	// Probe, when non-nil, receives the full attention logits (pre-softmax,
+	// over all cached tokens) of every (layer, head) during Decode. Used by
+	// the Fig. 3a importance-drift study. Enabling it forces an extra full
+	// weight computation per head.
+	Probe func(layer, head int, weights []float32)
+
+	// scratch buffers
+	hidden  []float32
+	normed  []float32
+	qbuf    []float32
+	kbuf    []float32
+	vbuf    []float32
+	headOut []float32
+	attnOut []float32
+	ffnGate []float32
+	ffnUp   []float32
+	scores  []float32
+}
+
+// NewSequence creates an empty sequence bound to a selection policy.
+// sel may be nil for full attention; budget is the per-head token budget
+// passed to the selector.
+func (m *Model) NewSequence(sel attention.Selector, budget int) *Sequence {
+	s := &Sequence{m: m, sel: sel, budget: budget}
+	cfg := m.cfg
+	s.stores = make([]*kvcache.Store, cfg.NLayers*cfg.NKVHeads)
+	for i := range s.stores {
+		s.stores[i] = kvcache.NewStore(cfg.HeadDim)
+	}
+	if sel != nil {
+		sel.Reset(cfg.NLayers, cfg.NKVHeads, cfg.HeadDim)
+	}
+	s.hidden = make([]float32, cfg.DModel)
+	s.normed = make([]float32, cfg.DModel)
+	s.qbuf = make([]float32, cfg.NHeads*cfg.HeadDim)
+	s.kbuf = make([]float32, cfg.NKVHeads*cfg.HeadDim)
+	s.vbuf = make([]float32, cfg.NKVHeads*cfg.HeadDim)
+	s.headOut = make([]float32, cfg.HeadDim)
+	s.attnOut = make([]float32, cfg.NHeads*cfg.HeadDim)
+	s.ffnGate = make([]float32, cfg.FFNDim)
+	s.ffnUp = make([]float32, cfg.FFNDim)
+	return s
+}
+
+// Store returns the KV store of (layer, kvHead).
+func (s *Sequence) Store(layer, kvHead int) *kvcache.Store {
+	return s.stores[layer*s.m.cfg.NKVHeads+kvHead]
+}
+
+// Len returns the number of processed tokens.
+func (s *Sequence) Len() int { return s.pos }
+
+// Selector returns the attached selection policy (may be nil).
+func (s *Sequence) Selector() attention.Selector { return s.sel }
+
+// Prefill processes the whole prompt with full attention, layer by layer
+// (the standard parallel prefill), fills the KV caches, notifies the
+// selector, and returns the final hidden state of the last token.
+// If wantLogits is non-nil it must have length len(tokens)×VocabSize and
+// receives per-position next-token logits (teacher-forced evaluation).
+func (s *Sequence) Prefill(tokens []int, wantLogits []float32) []float32 {
+	cfg := s.m.cfg
+	w := s.m.w
+	n := len(tokens)
+	if n == 0 {
+		panic("model: Prefill with empty prompt")
+	}
+	if wantLogits != nil && len(wantLogits) != n*cfg.VocabSize {
+		panic("model: Prefill logits buffer has wrong size")
+	}
+
+	// hidden[i] for all positions (row-major n×DModel).
+	hs := make([]float32, n*cfg.DModel)
+	for i, tok := range tokens {
+		copy(hs[i*cfg.DModel:(i+1)*cfg.DModel], w.embed.Row(tok))
+	}
+
+	normed := make([]float32, cfg.DModel)
+	qall := make([]float32, n*cfg.NHeads*cfg.HeadDim)
+	headOut := make([]float32, cfg.HeadDim)
+	attnOut := make([]float32, cfg.NHeads*cfg.HeadDim)
+
+	for l := 0; l < cfg.NLayers; l++ {
+		lw := &w.layers[l]
+		// QKV for all positions; K/V go straight into the stores.
+		for i := 0; i < n; i++ {
+			h := hs[i*cfg.DModel : (i+1)*cfg.DModel]
+			rmsNorm(normed, h, lw.attnNorm)
+			q := qall[i*cfg.NHeads*cfg.HeadDim : (i+1)*cfg.NHeads*cfg.HeadDim]
+			tensor.MatTVec(q, lw.wq, normed)
+			tensor.MatTVec(s.kbuf, lw.wk, normed)
+			tensor.MatTVec(s.vbuf, lw.wv, normed)
+			pos := s.pos + i
+			for hh := 0; hh < cfg.NHeads; hh++ {
+				qh := q[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
+				s.m.applyRope(qh, pos)
+				s.m.shapeQuery(qh)
+			}
+			for kv := 0; kv < cfg.NKVHeads; kv++ {
+				kh := s.kbuf[kv*cfg.HeadDim : (kv+1)*cfg.HeadDim]
+				s.m.applyRope(kh, pos)
+				s.m.shapeKey(kh, pos)
+				vh := s.vbuf[kv*cfg.HeadDim : (kv+1)*cfg.HeadDim]
+				s.Store(l, kv).Append(kh, vh)
+			}
+		}
+		// Causal attention + FFN per position.
+		group := cfg.GroupSize()
+		for i := 0; i < n; i++ {
+			h := hs[i*cfg.DModel : (i+1)*cfg.DModel]
+			q := qall[i*cfg.NHeads*cfg.HeadDim : (i+1)*cfg.NHeads*cfg.HeadDim]
+			for hh := 0; hh < cfg.NHeads; hh++ {
+				kv := hh / group
+				st := s.Store(l, kv)
+				s.scores = causalFull(headOut, q[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], st, s.pos+i+1, s.scores)
+				copy(attnOut[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], headOut)
+			}
+			addProjected(h, lw.wo, attnOut, s.normed)
+			s.ffn(h, lw)
+		}
+	}
+	s.pos += n
+
+	// Notify the selector that prefill KV is complete.
+	if s.sel != nil {
+		for l := 0; l < cfg.NLayers; l++ {
+			for kv := 0; kv < cfg.NKVHeads; kv++ {
+				s.sel.OnPrefill(l, kv, s.Store(l, kv))
+			}
+		}
+	}
+
+	if wantLogits != nil {
+		for i := 0; i < n; i++ {
+			h := hs[i*cfg.DModel : (i+1)*cfg.DModel]
+			rmsNorm(s.normed, h, w.finalNorm)
+			tensor.MatVec(wantLogits[i*cfg.VocabSize:(i+1)*cfg.VocabSize], w.embed, s.normed)
+		}
+	}
+	last := make([]float32, cfg.DModel)
+	copy(last, hs[(n-1)*cfg.DModel:])
+	return last
+}
+
+// causalFull computes full attention of q over the first n tokens of st.
+func causalFull(out, q []float32, st *kvcache.Store, n int, scratch []float32) []float32 {
+	d := st.HeadDim()
+	if cap(scratch) < n {
+		scratch = make([]float32, n)
+	}
+	scores := scratch[:n]
+	inv := float32(1 / math.Sqrt(float64(d)))
+	keys := st.Keys()
+	for i := 0; i < n; i++ {
+		row := keys[i*d : (i+1)*d]
+		var dot float32
+		for j := range q {
+			dot += q[j] * row[j]
+		}
+		scores[i] = dot * inv
+	}
+	tensor.Softmax(scores)
+	tensor.Fill(out, 0)
+	vals := st.Values()
+	for i := 0; i < n; i++ {
+		wgt := scores[i]
+		if wgt == 0 {
+			continue
+		}
+		row := vals[i*d : (i+1)*d]
+		for j := range out {
+			out[j] += wgt * row[j]
+		}
+	}
+	return scratch
+}
+
+// shapeKey applies the attention-sink offset to keys of sink positions.
+func (m *Model) shapeKey(k []float32, pos int) {
+	if pos < m.cfg.SinkTokens && m.cfg.SinkStrength != 0 {
+		tensor.Axpy(m.cfg.SinkStrength, m.w.sinkDir, k)
+	}
+}
+
+// shapeQuery biases every query toward the sink direction.
+func (m *Model) shapeQuery(q []float32) {
+	if m.cfg.SinkStrength != 0 {
+		tensor.Axpy(sinkQueryGain, m.w.sinkDir, q)
+	}
+}
+
+// addProjected computes h += woᵀ·attnOut using scratch (DModel).
+func addProjected(h []float32, wo *tensor.Mat, attnOut, scratch []float32) {
+	tensor.MatTVec(scratch, wo, attnOut)
+	tensor.Add(h, h, scratch)
+}
+
+// ffn applies the SwiGLU block with residual connection to h in place.
+func (s *Sequence) ffn(h []float32, lw *layerWeights) {
+	rmsNorm(s.normed, h, lw.ffnNorm)
+	tensor.MatTVec(s.ffnGate, lw.w1, s.normed)
+	tensor.MatTVec(s.ffnUp, lw.w3, s.normed)
+	for i := range s.ffnGate {
+		s.ffnGate[i] = silu(s.ffnGate[i]) * s.ffnUp[i]
+	}
+	tensor.MatTVec(s.normed, lw.w2, s.ffnGate)
+	tensor.Add(h, h, s.normed)
+}
+
+// Decode processes one token through the model using the sequence's
+// selection policy and returns the next-token logits. The new token's KV is
+// appended to the caches before selection, so the current token is always a
+// selection candidate (it sits in the unclustered decode tail).
+func (s *Sequence) Decode(token int) []float32 {
+	cfg := s.m.cfg
+	w := s.m.w
+	copy(s.hidden, w.embed.Row(token))
+	pos := s.pos
+	group := cfg.GroupSize()
+
+	for l := 0; l < cfg.NLayers; l++ {
+		lw := &w.layers[l]
+		rmsNorm(s.normed, s.hidden, lw.attnNorm)
+		tensor.MatTVec(s.qbuf, lw.wq, s.normed)
+		tensor.MatTVec(s.kbuf, lw.wk, s.normed)
+		tensor.MatTVec(s.vbuf, lw.wv, s.normed)
+		for hh := 0; hh < cfg.NHeads; hh++ {
+			qh := s.qbuf[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
+			s.m.applyRope(qh, pos)
+			s.m.shapeQuery(qh)
+		}
+		for kv := 0; kv < cfg.NKVHeads; kv++ {
+			kh := s.kbuf[kv*cfg.HeadDim : (kv+1)*cfg.HeadDim]
+			s.m.applyRope(kh, pos)
+			s.m.shapeKey(kh, pos)
+			vh := s.vbuf[kv*cfg.HeadDim : (kv+1)*cfg.HeadDim]
+			st := s.Store(l, kv)
+			st.Append(kh, vh)
+			if s.sel != nil {
+				s.sel.OnAppend(l, kv, st)
+			}
+		}
+		for hh := 0; hh < cfg.NHeads; hh++ {
+			kv := hh / group
+			st := s.Store(l, kv)
+			qh := s.qbuf[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
+			if s.Probe != nil {
+				if cap(s.scores) < st.Len() {
+					s.scores = make([]float32, st.Len())
+				}
+				attention.Weights(s.scores[:st.Len()], qh, st)
+				s.Probe(l, hh, s.scores[:st.Len()])
+			}
+			var idx []int
+			if s.sel != nil {
+				idx = s.sel.Select(l, kv, qh, st, s.budget)
+			}
+			if idx == nil {
+				s.scores = attention.Full(s.headOut, qh, st, s.scores)
+			} else {
+				s.scores = attention.Sparse(s.headOut, qh, st, idx, s.scores)
+			}
+			copy(s.attnOut[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], s.headOut)
+		}
+		addProjected(s.hidden, lw.wo, s.attnOut, s.normed)
+		s.ffn(s.hidden, lw)
+	}
+	if s.sel != nil {
+		s.sel.EndStep()
+	}
+	s.pos++
+
+	rmsNorm(s.normed, s.hidden, w.finalNorm)
+	logits := make([]float32, cfg.VocabSize)
+	tensor.MatVec(logits, w.embed, s.normed)
+	return logits
+}

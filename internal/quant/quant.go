@@ -1,0 +1,183 @@
+// Package quant implements KIVI-style asymmetric low-bit quantization of KV
+// cache tensors (Liu et al., ICML'24 — the work the paper cites for the
+// outlier-channel observation motivating cosine clustering, §III-B).
+//
+// KIVI's finding: key tensors should be quantized *per channel* (outlier
+// channels get their own scale so they do not destroy the range of the other
+// channels), while value tensors should be quantized *per token*. This
+// package provides both layouts with arbitrary bit widths (2–8), plus
+// round-trip helpers used to study how quantized keys interact with semantic
+// clustering (an extension beyond the paper: cluster metadata built on
+// quantized keys).
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Axis selects the quantization grouping.
+type Axis int
+
+const (
+	// PerChannel groups along the channel dimension: one (scale, zero) pair
+	// per channel across all tokens — KIVI's choice for keys.
+	PerChannel Axis = iota
+	// PerToken groups along the token dimension: one (scale, zero) pair per
+	// token across its channels — KIVI's choice for values.
+	PerToken
+)
+
+// String implements fmt.Stringer.
+func (a Axis) String() string {
+	if a == PerChannel {
+		return "per-channel"
+	}
+	return "per-token"
+}
+
+// Tensor is a quantized n×d row-major tensor.
+type Tensor struct {
+	// Bits is the code width (2–8).
+	Bits int
+	// Axis is the grouping.
+	Axis Axis
+	// N and D are the token and channel counts.
+	N, D int
+	// Codes holds one byte per element (packing into sub-byte codes is a
+	// storage concern the simulator does not need; Bits bounds the range).
+	Codes []uint8
+	// Scales and Zeros hold one entry per group (D groups for PerChannel,
+	// N groups for PerToken).
+	Scales []float32
+	Zeros  []float32
+}
+
+// Quantize compresses the n×d row-major data to the given bit width.
+// It panics on invalid arguments.
+func Quantize(data []float32, n, d, bits int, axis Axis) *Tensor {
+	if bits < 2 || bits > 8 {
+		panic(fmt.Sprintf("quant: unsupported bit width %d", bits))
+	}
+	if len(data) != n*d {
+		panic("quant: data length mismatch")
+	}
+	groups := d
+	if axis == PerToken {
+		groups = n
+	}
+	t := &Tensor{
+		Bits: bits, Axis: axis, N: n, D: d,
+		Codes:  make([]uint8, n*d),
+		Scales: make([]float32, groups),
+		Zeros:  make([]float32, groups),
+	}
+	levels := float32(int(1)<<bits - 1)
+
+	groupOf := func(i, j int) int {
+		if axis == PerChannel {
+			return j
+		}
+		return i
+	}
+	// Pass 1: per-group min/max.
+	mins := make([]float32, groups)
+	maxs := make([]float32, groups)
+	for g := range mins {
+		mins[g] = float32(math.Inf(1))
+		maxs[g] = float32(math.Inf(-1))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			v := data[i*d+j]
+			g := groupOf(i, j)
+			if v < mins[g] {
+				mins[g] = v
+			}
+			if v > maxs[g] {
+				maxs[g] = v
+			}
+		}
+	}
+	for g := range mins {
+		span := maxs[g] - mins[g]
+		if span <= 0 {
+			span = 1e-8
+		}
+		t.Scales[g] = span / levels
+		t.Zeros[g] = mins[g]
+	}
+	// Pass 2: encode.
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			g := groupOf(i, j)
+			q := (data[i*d+j] - t.Zeros[g]) / t.Scales[g]
+			c := int(q + 0.5)
+			if c < 0 {
+				c = 0
+			}
+			if c > int(levels) {
+				c = int(levels)
+			}
+			t.Codes[i*d+j] = uint8(c)
+		}
+	}
+	return t
+}
+
+// Dequantize reconstructs the full-precision tensor into dst (length n×d);
+// pass nil to allocate. It returns dst.
+func (t *Tensor) Dequantize(dst []float32) []float32 {
+	if dst == nil {
+		dst = make([]float32, t.N*t.D)
+	}
+	if len(dst) != t.N*t.D {
+		panic("quant: Dequantize buffer mismatch")
+	}
+	for i := 0; i < t.N; i++ {
+		for j := 0; j < t.D; j++ {
+			g := j
+			if t.Axis == PerToken {
+				g = i
+			}
+			dst[i*t.D+j] = t.Zeros[g] + float32(t.Codes[i*t.D+j])*t.Scales[g]
+		}
+	}
+	return dst
+}
+
+// Row reconstructs token i into dst (length d); pass nil to allocate.
+func (t *Tensor) Row(i int, dst []float32) []float32 {
+	if dst == nil {
+		dst = make([]float32, t.D)
+	}
+	for j := 0; j < t.D; j++ {
+		g := j
+		if t.Axis == PerToken {
+			g = i
+		}
+		dst[j] = t.Zeros[g] + float32(t.Codes[i*t.D+j])*t.Scales[g]
+	}
+	return dst
+}
+
+// Bytes returns the simulated storage footprint in bytes: Bits per element
+// plus fp16 scale/zero pairs per group.
+func (t *Tensor) Bytes() int {
+	elems := (t.N*t.D*t.Bits + 7) / 8
+	meta := len(t.Scales) * 4 // fp16 scale + fp16 zero
+	return elems + meta
+}
+
+// MaxAbsError returns the worst-case absolute reconstruction error against
+// the original data.
+func (t *Tensor) MaxAbsError(data []float32) float64 {
+	worst := 0.0
+	recon := t.Dequantize(nil)
+	for i := range data {
+		if e := math.Abs(float64(data[i] - recon[i])); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,177 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clusterkv/internal/cluster"
+	"clusterkv/internal/rng"
+	"clusterkv/internal/workload"
+)
+
+func randData(seed uint64, n, d int) []float32 {
+	r := rng.New(seed)
+	data := make([]float32, n*d)
+	for i := range data {
+		data[i] = r.NormFloat32()
+	}
+	return data
+}
+
+func TestRoundTripErrorBound(t *testing.T) {
+	// Reconstruction error is bounded by half a quantization step per group.
+	for _, axis := range []Axis{PerChannel, PerToken} {
+		for _, bits := range []int{2, 4, 8} {
+			data := randData(uint64(bits), 50, 8)
+			q := Quantize(data, 50, 8, bits, axis)
+			maxStep := 0.0
+			for _, s := range q.Scales {
+				if float64(s) > maxStep {
+					maxStep = float64(s)
+				}
+			}
+			if err := q.MaxAbsError(data); err > maxStep/2+1e-5 {
+				t.Fatalf("%v %d-bit: error %v exceeds half-step %v", axis, bits, err, maxStep/2)
+			}
+		}
+	}
+}
+
+func TestHigherBitsLowerError(t *testing.T) {
+	data := randData(1, 100, 16)
+	e2 := Quantize(data, 100, 16, 2, PerChannel).MaxAbsError(data)
+	e4 := Quantize(data, 100, 16, 4, PerChannel).MaxAbsError(data)
+	e8 := Quantize(data, 100, 16, 8, PerChannel).MaxAbsError(data)
+	if !(e8 < e4 && e4 < e2) {
+		t.Fatalf("errors not decreasing: 2b=%v 4b=%v 8b=%v", e2, e4, e8)
+	}
+}
+
+func TestPerChannelIsolatesOutliers(t *testing.T) {
+	// A single huge channel must not degrade the other channels' precision
+	// under per-channel quantization — the KIVI motivation.
+	r := rng.New(2)
+	n, d := 200, 8
+	data := make([]float32, n*d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			data[i*d+j] = r.NormFloat32()
+			if j == 0 {
+				data[i*d+j] = 50 + 10*r.NormFloat32() // outlier channel
+			}
+		}
+	}
+	perCh := Quantize(data, n, d, 4, PerChannel)
+	perTok := Quantize(data, n, d, 4, PerToken)
+
+	// Error restricted to the non-outlier channels.
+	errOn := func(q *Tensor) float64 {
+		recon := q.Dequantize(nil)
+		worst := 0.0
+		for i := 0; i < n; i++ {
+			for j := 1; j < d; j++ {
+				if e := math.Abs(float64(data[i*d+j] - recon[i*d+j])); e > worst {
+					worst = e
+				}
+			}
+		}
+		return worst
+	}
+	if errOn(perCh) >= errOn(perTok) {
+		t.Fatalf("per-channel (%v) should isolate outliers better than per-token (%v)",
+			errOn(perCh), errOn(perTok))
+	}
+}
+
+func TestRowMatchesDequantize(t *testing.T) {
+	data := randData(3, 20, 4)
+	q := Quantize(data, 20, 4, 4, PerToken)
+	full := q.Dequantize(nil)
+	for i := 0; i < 20; i++ {
+		row := q.Row(i, nil)
+		for j := 0; j < 4; j++ {
+			if row[j] != full[i*4+j] {
+				t.Fatalf("Row(%d) differs from Dequantize", i)
+			}
+		}
+	}
+}
+
+func TestBytesFootprint(t *testing.T) {
+	q := Quantize(randData(4, 100, 16), 100, 16, 4, PerChannel)
+	// 100×16 4-bit codes = 800 bytes + 16 groups × 4 bytes = 864.
+	if q.Bytes() != 864 {
+		t.Fatalf("Bytes = %d, want 864", q.Bytes())
+	}
+}
+
+func TestQuantizePanics(t *testing.T) {
+	cases := []func(){
+		func() { Quantize(make([]float32, 4), 2, 2, 1, PerChannel) }, // bits too low
+		func() { Quantize(make([]float32, 4), 2, 2, 9, PerChannel) }, // bits too high
+		func() { Quantize(make([]float32, 3), 2, 2, 4, PerChannel) }, // length mismatch
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConstantDataRoundTrips(t *testing.T) {
+	data := make([]float32, 40)
+	for i := range data {
+		data[i] = 3.5
+	}
+	q := Quantize(data, 10, 4, 4, PerToken)
+	if err := q.MaxAbsError(data); err > 1e-4 {
+		t.Fatalf("constant data error %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	check := func(seed uint64, nn, dd uint8) bool {
+		n := int(nn)%30 + 1
+		d := int(dd)%12 + 1
+		data := randData(seed, n, d)
+		q := Quantize(data, n, d, 8, PerChannel)
+		// 8-bit error must be tiny relative to the data range.
+		return q.MaxAbsError(data) < 0.05
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClusteringSurvivesQuantization is the extension study: semantic
+// clustering built on 4-bit quantized keys must assign tokens almost
+// identically to clustering on full-precision keys.
+func TestClusteringSurvivesQuantization(t *testing.T) {
+	tc := workload.DefaultTraceConfig()
+	tc.L = 1024
+	tr := workload.NewTrace(tc)
+	keys := tr.Keys[0].Data
+	n, d := tr.Keys[0].Rows, tr.Keys[0].Cols
+
+	full := cluster.KMeans(keys, d, 12, cluster.Config{Seed: 1})
+	deq := Quantize(keys, n, d, 4, PerChannel).Dequantize(nil)
+	quant := cluster.KMeans(deq, d, 12, cluster.Config{Seed: 1})
+
+	agree := 0
+	for i := range full.Labels {
+		if full.Labels[i] == quant.Labels[i] {
+			agree++
+		}
+	}
+	// k-means is path dependent, so perfect agreement is not expected; the
+	// bulk of assignments must survive.
+	if frac := float64(agree) / float64(n); frac < 0.75 {
+		t.Fatalf("only %.0f%% of assignments survive 4-bit quantization", frac*100)
+	}
+}

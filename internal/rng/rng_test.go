@@ -1,0 +1,171 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds collided %d times in 1000 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split(1)
+	b := root.Split(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("Intn(10) never produced %d in 10000 draws", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(6)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		seen := make(map[int]bool, len(p))
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	check := func(seed uint64, nn, kk uint8) bool {
+		n := int(nn)%64 + 1
+		k := int(kk) % (n + 1)
+		s := New(seed).Sample(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(2, 3) did not panic")
+		}
+	}()
+	New(1).Sample(2, 3)
+}
+
+func TestSampleCoverage(t *testing.T) {
+	// Sampling n of n must return every index.
+	s := New(9).Sample(20, 20)
+	seen := make([]bool, 20)
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("Sample(20,20) missing %d", i)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package sched implements the event-driven two-stream pipeline simulator
+// used to model ClusterKV's asynchronous clustering during prefill (paper
+// Fig. 6): clustering of layer i's keys is launched on a side stream as soon
+// as the keys leave the QKV-projection + RoPE modules, and overlaps with the
+// rest of layer i (attention, FFN) and the start of layer i+1.
+package sched
+
+// Stage is one main-stream stage (a transformer layer during prefill).
+type Stage struct {
+	// Compute is the stage's main-stream duration (seconds).
+	Compute float64
+	// SideJob is the duration of the side-stream job this stage spawns
+	// (clustering of this layer's keys); 0 for no job.
+	SideJob float64
+	// ReadyFrac is the fraction of Compute after which the side job's input
+	// is ready (keys exist after QKV+RoPE, early in the layer).
+	ReadyFrac float64
+}
+
+// Result summarises the pipeline simulation.
+type Result struct {
+	// MainTotal is the main stream's finish time (no side work).
+	MainTotal float64
+	// SideBusy is the total side-stream busy time.
+	SideBusy float64
+	// Total is the pipeline makespan: everything, including side jobs that
+	// outlast the main stream, must finish.
+	Total float64
+	// Exposed is the extra latency caused by side work: Total − MainTotal.
+	Exposed float64
+}
+
+// Overlap simulates the two-stream pipeline. The main stream runs stages
+// back-to-back; each stage's side job becomes ready at
+// stageStart + ReadyFrac·Compute and the single side stream executes ready
+// jobs in order. The sequence completes when both streams drain.
+func Overlap(stages []Stage) Result {
+	var mainT, sideT float64
+	for _, st := range stages {
+		ready := mainT + st.ReadyFrac*st.Compute
+		if st.SideJob > 0 {
+			if sideT < ready {
+				sideT = ready
+			}
+			sideT += st.SideJob
+		}
+		mainT += st.Compute
+	}
+	res := Result{MainTotal: mainT}
+	for _, st := range stages {
+		res.SideBusy += st.SideJob
+	}
+	res.Total = mainT
+	if sideT > res.Total {
+		res.Total = sideT
+	}
+	res.Exposed = res.Total - res.MainTotal
+	return res
+}
+
+// UniformLayers builds a homogeneous prefill pipeline: nLayers stages of
+// layerTime each, spawning clusterTime side jobs ready at readyFrac.
+func UniformLayers(nLayers int, layerTime, clusterTime, readyFrac float64) []Stage {
+	stages := make([]Stage, nLayers)
+	for i := range stages {
+		stages[i] = Stage{Compute: layerTime, SideJob: clusterTime, ReadyFrac: readyFrac}
+	}
+	return stages
+}

@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoSideJobs(t *testing.T) {
+	res := Overlap([]Stage{{Compute: 1}, {Compute: 2}, {Compute: 3}})
+	if res.MainTotal != 6 || res.Total != 6 || res.Exposed != 0 || res.SideBusy != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestFullyHiddenSideJobs(t *testing.T) {
+	// Tiny side jobs launched early are hidden entirely.
+	stages := UniformLayers(4, 10, 0.5, 0.1)
+	res := Overlap(stages)
+	if res.Exposed != 0 {
+		t.Fatalf("tiny side jobs exposed %v", res.Exposed)
+	}
+	if res.SideBusy != 2 {
+		t.Fatalf("SideBusy = %v", res.SideBusy)
+	}
+}
+
+func TestSideJobOutlastsMain(t *testing.T) {
+	// One huge side job from the last stage extends the makespan.
+	stages := []Stage{{Compute: 1}, {Compute: 1, SideJob: 10, ReadyFrac: 0.5}}
+	res := Overlap(stages)
+	// Side job starts at 1.5, runs 10 → finishes 11.5; main ends at 2.
+	if math.Abs(res.Total-11.5) > 1e-12 || math.Abs(res.Exposed-9.5) > 1e-12 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestSideStreamSerialisation(t *testing.T) {
+	// Two side jobs of 3s each, ready at t=0.5 and t=1.5: the second queues
+	// behind the first (0.5+3=3.5 > 1.5), finishing at 6.5.
+	stages := []Stage{
+		{Compute: 1, SideJob: 3, ReadyFrac: 0.5},
+		{Compute: 1, SideJob: 3, ReadyFrac: 0.5},
+	}
+	res := Overlap(stages)
+	if math.Abs(res.Total-6.5) > 1e-12 {
+		t.Fatalf("Total = %v, want 6.5", res.Total)
+	}
+}
+
+func TestReadyFracDelaysStart(t *testing.T) {
+	early := Overlap([]Stage{{Compute: 10, SideJob: 20, ReadyFrac: 0}})
+	late := Overlap([]Stage{{Compute: 10, SideJob: 20, ReadyFrac: 1}})
+	if late.Total-early.Total != 10 {
+		t.Fatalf("ReadyFrac shift wrong: %v vs %v", early.Total, late.Total)
+	}
+}
+
+func TestOverlapInvariantsProperty(t *testing.T) {
+	check := func(seeds []uint8) bool {
+		var stages []Stage
+		for i := 0; i+2 < len(seeds); i += 3 {
+			stages = append(stages, Stage{
+				Compute:   float64(seeds[i])/16 + 0.01,
+				SideJob:   float64(seeds[i+1]) / 32,
+				ReadyFrac: float64(seeds[i+2]%100) / 100,
+			})
+		}
+		res := Overlap(stages)
+		// Total >= MainTotal; Total >= SideBusy; Exposed = Total - MainTotal >= 0.
+		return res.Total >= res.MainTotal-1e-12 &&
+			res.Total >= res.SideBusy-1e-12 &&
+			res.Exposed >= -1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformLayers(t *testing.T) {
+	stages := UniformLayers(3, 2, 1, 0.25)
+	if len(stages) != 3 {
+		t.Fatalf("%d stages", len(stages))
+	}
+	for _, s := range stages {
+		if s.Compute != 2 || s.SideJob != 1 || s.ReadyFrac != 0.25 {
+			t.Fatalf("%+v", s)
+		}
+	}
+}

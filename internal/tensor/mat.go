@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// Mat is a dense row-major float32 matrix view. Rows() returns slices that
+// alias the underlying Data; mutating them mutates the matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// NewMat allocates a zeroed Rows×Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("tensor: NewMat negative dimension")
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// WrapMat wraps an existing flat slice as a Rows×Cols matrix without copying.
+// It panics if the length does not match.
+func WrapMat(rows, cols int, data []float32) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: WrapMat %dx%d needs %d elements, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Mat) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MatVec computes dst = m · x (m is Rows×Cols, x has Cols entries,
+// dst has Rows entries). dst must not alias x.
+func MatVec(dst []float32, m *Mat, x []float32) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("tensor: MatVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float32
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MatTVec computes dst = mᵀ · x (x has Rows entries, dst has Cols entries).
+func MatTVec(dst []float32, m *Mat, x []float32) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("tensor: MatTVec dimension mismatch")
+	}
+	Fill(dst, 0)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+}
+
+// MatMul computes c = a · b. Shapes: a is M×K, b is K×N, c is M×N.
+// c must not alias a or b.
+func MatMul(c, a, b *Mat) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("tensor: MatMul dimension mismatch")
+	}
+	Fill(c.Data, 0)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT computes c = a · bᵀ. Shapes: a is M×K, b is N×K, c is M×N.
+func MatMulT(c, a, b *Mat) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic("tensor: MatMulT dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var s float32
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			crow[j] = s
+		}
+	}
+}
