@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench serve clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 verification: everything builds, vet is clean, tests pass with the
+# race detector.
+test: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+serve:
+	$(GO) run ./cmd/clusterkv-serve
+
+clean:
+	$(GO) clean ./...

@@ -167,6 +167,57 @@ func BenchmarkTransformerPrefill(b *testing.B) {
 	}
 }
 
+// BenchmarkServeEngine measures the continuous-batching engine over a small
+// shared-document QA load (8 requests, 2 shared docs, ClusterKV selectors).
+func BenchmarkServeEngine(b *testing.B) {
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	lc := clusterkv.DefaultLoadConfig()
+	lc.DocLen = 512
+	lc.NRequests = 8
+	lc.MaxNewTokens = 8
+	load := clusterkv.NewLoad(lc)
+	reqs := make([]clusterkv.ServeRequest, len(load))
+	for i, q := range load {
+		reqs[i] = clusterkv.ServeRequest{
+			Prompt:          q.Prompt,
+			SharedPrefixLen: q.SharedPrefixLen,
+			MaxNewTokens:    q.MaxNewTokens,
+			Budget:          256,
+			NewSelector: func() clusterkv.Selector {
+				return clusterkv.New(clusterkv.DefaultConfig())
+			},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := clusterkv.NewEngine(m, clusterkv.EngineConfig{MaxBatch: 8, Workers: 1, Seed: 1})
+		eng.Run(reqs)
+		eng.Close()
+	}
+}
+
+// BenchmarkServeSerialBaseline decodes the same load one request at a time
+// through the plain Sequence API (the replayer the engine is compared to).
+func BenchmarkServeSerialBaseline(b *testing.B) {
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	lc := clusterkv.DefaultLoadConfig()
+	lc.DocLen = 512
+	lc.NRequests = 8
+	lc.MaxNewTokens = 8
+	load := clusterkv.NewLoad(lc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range load {
+			seq := m.NewSequence(clusterkv.New(clusterkv.DefaultConfig()), 256)
+			seq.Prefill(q.Prompt, nil)
+			tok := q.Prompt[len(q.Prompt)-1]
+			for j := 0; j < q.MaxNewTokens; j++ {
+				tok = argmax(seq.Decode(tok))
+			}
+		}
+	}
+}
+
 // BenchmarkTransformerDecode measures one decode step with ClusterKV active.
 func BenchmarkTransformerDecode(b *testing.B) {
 	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())

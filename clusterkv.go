@@ -33,6 +33,7 @@ import (
 	"clusterkv/internal/memsim"
 	"clusterkv/internal/metrics"
 	"clusterkv/internal/model"
+	"clusterkv/internal/serve"
 	"clusterkv/internal/workload"
 )
 
@@ -122,11 +123,65 @@ type ModelConfig = model.Config
 // Sequence is one generation stream bound to a Selector and budget.
 type Sequence = model.Sequence
 
+// Snapshot is a frozen KV prefix that many sequences can fork from without
+// re-running prefill (Sequence.Snapshot / Model.NewSequenceFrom) — the
+// substrate of the serving engine's prefix cache.
+type Snapshot = model.Snapshot
+
 // DefaultModelConfig returns the small evaluation model (4×4×16, d_model 64).
 func DefaultModelConfig() ModelConfig { return model.DefaultConfig() }
 
 // NewModel builds a model with deterministic structured weights.
 func NewModel(cfg ModelConfig) *Model { return model.New(cfg) }
+
+// ---- Serving ----------------------------------------------------------------
+
+// Engine is the concurrent inference server: continuous batching across many
+// sequences, admission control against a global KV budget, shared-prefix
+// prefill caching, per-request selectors, graceful drain.
+type Engine = serve.Engine
+
+// EngineConfig holds the engine tunables (workers, batch size, queue
+// capacity, global KV budget, seed).
+type EngineConfig = serve.Config
+
+// ServeRequest describes one generation job for the Engine.
+type ServeRequest = serve.Request
+
+// ServeResponse is the outcome of one served request.
+type ServeResponse = serve.Response
+
+// ServeTicket is the handle returned by Engine.Submit.
+type ServeTicket = serve.Ticket
+
+// ServeMetrics is a snapshot of the engine's aggregate serving metrics.
+type ServeMetrics = serve.Metrics
+
+// Serving errors surfaced in ServeResponse.Err.
+var (
+	ErrEngineClosed    = serve.ErrClosed
+	ErrRequestAborted  = serve.ErrAborted
+	ErrBadServeRequest = serve.ErrBadRequest
+	ErrRequestTooLarge = serve.ErrTooLarge
+)
+
+// NewEngine starts a serving engine over the model. Callers must Close it.
+func NewEngine(m *Model, cfg EngineConfig) *Engine { return serve.NewEngine(m, cfg) }
+
+// DefaultEngineConfig returns the default serving configuration.
+func DefaultEngineConfig() EngineConfig { return serve.DefaultConfig() }
+
+// QARequest is one request of a synthetic serving load (shared-document QA).
+type QARequest = workload.QARequest
+
+// LoadConfig shapes a synthetic serving load.
+type LoadConfig = workload.LoadConfig
+
+// DefaultLoadConfig returns a small 8-tenant QA load over two shared docs.
+func DefaultLoadConfig() LoadConfig { return workload.DefaultLoadConfig() }
+
+// NewLoad materialises a deterministic serving load.
+func NewLoad(cfg LoadConfig) []QARequest { return workload.NewLoad(cfg) }
 
 // ---- Workloads ----------------------------------------------------------------
 

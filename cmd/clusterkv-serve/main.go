@@ -1,0 +1,288 @@
+// Command clusterkv-serve drives the continuous-batching serving engine
+// with a synthetic multi-tenant QA load (many questions over shared long
+// documents) and prints a throughput/latency report comparing compression
+// methods under identical load, plus the engine against serial
+// one-at-a-time decode of the same request set.
+//
+//	clusterkv-serve                      # default: 8 streams, 16 requests
+//	clusterkv-serve -streams 8 -requests 32 -doclen 2048
+//	clusterkv-serve -rate 4              # open-loop Poisson arrivals, 4 req/s
+//	clusterkv-serve -method clusterkv    # single method
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"clusterkv"
+)
+
+type methodSpec struct {
+	name string
+	sel  func() clusterkv.Selector // nil factory = full attention
+}
+
+func methods(which string) []methodSpec {
+	all := []methodSpec{
+		{"ClusterKV", func() clusterkv.Selector { return clusterkv.New(clusterkv.DefaultConfig()) }},
+		{"Quest", func() clusterkv.Selector { return clusterkv.NewQuest(clusterkv.DefaultQuestConfig()) }},
+		{"FullKV", nil},
+	}
+	if which == "all" {
+		return all
+	}
+	var out []methodSpec
+	for _, w := range strings.Split(which, ",") {
+		w = strings.TrimSpace(strings.ToLower(w))
+		for _, m := range all {
+			if strings.ToLower(m.name) == w {
+				out = append(out, m)
+			}
+		}
+	}
+	if len(out) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown -method %q (clusterkv, quest, fullkv, all)\n", which)
+		os.Exit(2)
+	}
+	return out
+}
+
+func main() {
+	var (
+		streams   = flag.Int("streams", 8, "concurrent decode streams (continuous-batching batch size)")
+		workers   = flag.Int("workers", 0, "decode worker goroutines (0 = GOMAXPROCS)")
+		requests  = flag.Int("requests", 16, "total requests in the load")
+		docs      = flag.Int("docs", 2, "shared documents tenants ask about")
+		docLen    = flag.Int("doclen", 1024, "document length (tokens)")
+		qLen      = flag.Int("qlen", 32, "question suffix length (tokens)")
+		newTok    = flag.Int("newtokens", 24, "tokens generated per request")
+		budget    = flag.Int("budget", 256, "per-head KV budget for compressed methods")
+		kvBudget  = flag.Int64("kvbudget", 0, "global device KV budget in per-head token slots (0 = unlimited)")
+		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		method    = flag.String("method", "all", "methods to serve (clusterkv, quest, fullkv, all)")
+		noPrefix  = flag.Bool("noprefixcache", false, "disable the shared-prefix prefill cache")
+		noSerial  = flag.Bool("noserial", false, "skip the serial one-at-a-time baseline")
+		verifyOut = flag.Bool("verify", true, "check engine outputs match serial decode token-for-token")
+	)
+	flag.Parse()
+
+	lc := clusterkv.DefaultLoadConfig()
+	lc.Doc.Seed = *seed
+	lc.NDocs = *docs
+	lc.DocLen = *docLen
+	lc.NRequests = *requests
+	lc.QuestionLen = *qLen
+	lc.MaxNewTokens = *newTok
+	lc.RatePerSec = *rate
+	load := clusterkv.NewLoad(lc)
+
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	fmt.Printf("load: %d requests over %d shared docs (%d+%d prompt tokens, %d generated each)\n",
+		*requests, *docs, *docLen, *qLen, *newTok)
+	if *rate > 0 {
+		fmt.Printf("arrivals: open-loop Poisson at %.2f req/s\n", *rate)
+	} else {
+		fmt.Printf("arrivals: closed loop (all requests queued up front)\n")
+	}
+	fmt.Printf("engine: %d streams, %d workers, prefix cache %v, global KV budget %v\n\n",
+		*streams, effWorkers(*workers), !*noPrefix, budgetStr(*kvBudget))
+
+	type row struct {
+		name                   string
+		serialTokS, engineTokS float64
+		speedup                float64
+		ttftP50, ttftP95       float64
+		tokP50                 float64
+		prefillSaved           int64
+		match                  string
+	}
+	var rows []row
+
+	for _, spec := range methods(*method) {
+		reqs := buildRequests(load, spec, *budget)
+
+		var serialSecs float64
+		var serialTok int64
+		var serialOut [][]int
+		if !*noSerial {
+			start := time.Now()
+			serialOut = runSerial(m, reqs)
+			serialSecs = time.Since(start).Seconds()
+			for _, ts := range serialOut {
+				serialTok += int64(len(ts))
+			}
+		}
+
+		cfg := clusterkv.DefaultEngineConfig()
+		cfg.MaxBatch = *streams
+		if *workers > 0 {
+			cfg.Workers = *workers
+		}
+		cfg.KVBudget = *kvBudget
+		cfg.NoPrefixCache = *noPrefix
+		cfg.Seed = *seed
+		eng := clusterkv.NewEngine(m, cfg)
+		resps := dispatch(eng, reqs, load, *rate)
+		mx := eng.Metrics()
+		eng.Close()
+
+		failed, compared := 0, 0
+		match := "n/a"
+		for i, r := range resps {
+			if r.Err != nil {
+				failed++
+				continue
+			}
+			if *verifyOut && serialOut != nil {
+				compared++
+				if !equalTokens(r.Tokens, serialOut[i]) {
+					match = "NO"
+				}
+			}
+		}
+		if compared > 0 && match == "n/a" {
+			match = "yes"
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "%s: %d requests failed\n", spec.name, failed)
+		}
+
+		naivePrefill := int64(0)
+		if mx.Completed > 0 {
+			naivePrefill = int64(*requests) * int64(*docLen+*qLen)
+		}
+		r := row{
+			name:         spec.name,
+			engineTokS:   mx.Throughput(),
+			ttftP50:      mx.TTFT.P50 * 1e3,
+			ttftP95:      mx.TTFT.P95 * 1e3,
+			tokP50:       mx.TokenLatency.P50 * 1e3,
+			prefillSaved: naivePrefill - mx.PrefillTokens,
+			match:        match,
+		}
+		if serialSecs > 0 {
+			r.serialTokS = float64(serialTok) / serialSecs
+			if r.engineTokS > 0 {
+				r.speedup = r.engineTokS / r.serialTokS
+			}
+		}
+		rows = append(rows, r)
+
+		fmt.Printf("== %s ==\n%s", spec.name, mx.String())
+		if serialSecs > 0 {
+			fmt.Printf("serial baseline: %.1f tok/s (one request at a time, full per-request prefill)\n", r.serialTokS)
+			fmt.Printf("engine speedup:  %.2fx aggregate tokens/sec over serial decode\n", r.speedup)
+		}
+		fmt.Println()
+	}
+
+	// Summary table.
+	fmt.Printf("%-10s %12s %12s %9s %10s %10s %10s %14s %6s\n",
+		"method", "serial tok/s", "engine tok/s", "speedup", "ttft p50", "ttft p95", "tok p50", "prefill saved", "match")
+	for _, r := range rows {
+		serial := "-"
+		speedup := "-"
+		if r.serialTokS > 0 {
+			serial = fmt.Sprintf("%.1f", r.serialTokS)
+			speedup = fmt.Sprintf("%.2fx", r.speedup)
+		}
+		fmt.Printf("%-10s %12s %12.1f %9s %8.1fms %8.1fms %8.2fms %14d %6s\n",
+			r.name, serial, r.engineTokS, speedup, r.ttftP50, r.ttftP95, r.tokP50, r.prefillSaved, r.match)
+	}
+}
+
+func effWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return clusterkv.DefaultEngineConfig().Workers
+}
+
+func budgetStr(b int64) string {
+	if b <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d slots", b)
+}
+
+func buildRequests(load []clusterkv.QARequest, spec methodSpec, budget int) []clusterkv.ServeRequest {
+	reqs := make([]clusterkv.ServeRequest, len(load))
+	for i, q := range load {
+		reqs[i] = clusterkv.ServeRequest{
+			Prompt:          q.Prompt,
+			SharedPrefixLen: q.SharedPrefixLen,
+			MaxNewTokens:    q.MaxNewTokens,
+		}
+		if spec.sel != nil {
+			reqs[i].Budget = budget
+			reqs[i].NewSelector = spec.sel
+		}
+	}
+	return reqs
+}
+
+// runSerial is the status-quo replayer: one request at a time through the
+// plain Sequence API, full prefill per request, greedy decode.
+func runSerial(m *clusterkv.Model, reqs []clusterkv.ServeRequest) [][]int {
+	out := make([][]int, len(reqs))
+	for i, req := range reqs {
+		var sel clusterkv.Selector
+		if req.NewSelector != nil {
+			sel = req.NewSelector()
+		}
+		seq := m.NewSequence(sel, req.Budget)
+		seq.Prefill(req.Prompt, nil)
+		tok := req.Prompt[len(req.Prompt)-1]
+		toks := make([]int, 0, req.MaxNewTokens)
+		for j := 0; j < req.MaxNewTokens; j++ {
+			tok = argmax(seq.Decode(tok))
+			toks = append(toks, tok)
+		}
+		out[i] = toks
+	}
+	return out
+}
+
+// dispatch submits the load: closed-loop as one deterministic batch,
+// open-loop with Poisson gaps between Submits.
+func dispatch(eng *clusterkv.Engine, reqs []clusterkv.ServeRequest, load []clusterkv.QARequest, rate float64) []clusterkv.ServeResponse {
+	if rate <= 0 {
+		return eng.Run(reqs)
+	}
+	tickets := make([]*clusterkv.ServeTicket, len(reqs))
+	for i, req := range reqs {
+		time.Sleep(time.Duration(load[i].Gap * float64(time.Second)))
+		tickets[i] = eng.Submit(req)
+	}
+	out := make([]clusterkv.ServeResponse, len(tickets))
+	for i, tk := range tickets {
+		out[i] = tk.Wait()
+	}
+	return out
+}
+
+func equalTokens(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func argmax(xs []float32) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,3 @@
+module clusterkv
+
+go 1.24

@@ -133,6 +133,70 @@ func TestCostModelHeadline(t *testing.T) {
 	}
 }
 
+// TestServingEngineEndToEnd drives the public serving API: a QA load over
+// shared documents, mixed tenants, deterministic results that match serial
+// one-at-a-time decode.
+func TestServingEngineEndToEnd(t *testing.T) {
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	lc := clusterkv.DefaultLoadConfig()
+	lc.DocLen = 384
+	lc.NRequests = 6
+	lc.QuestionLen = 16
+	lc.MaxNewTokens = 8
+	load := clusterkv.NewLoad(lc)
+
+	sels := []func() clusterkv.Selector{
+		func() clusterkv.Selector { return clusterkv.New(clusterkv.DefaultConfig()) },
+		func() clusterkv.Selector { return clusterkv.NewQuest(clusterkv.DefaultQuestConfig()) },
+		nil, // full attention
+	}
+	reqs := make([]clusterkv.ServeRequest, len(load))
+	for i, q := range load {
+		reqs[i] = clusterkv.ServeRequest{
+			Prompt:          q.Prompt,
+			SharedPrefixLen: q.SharedPrefixLen,
+			MaxNewTokens:    q.MaxNewTokens,
+		}
+		if sel := sels[i%len(sels)]; sel != nil {
+			reqs[i].Budget = 128
+			reqs[i].NewSelector = sel
+		}
+	}
+
+	cfg := clusterkv.DefaultEngineConfig()
+	cfg.MaxBatch = 3
+	cfg.Seed = 7
+	eng := clusterkv.NewEngine(m, cfg)
+	resps := eng.Run(reqs)
+	mx := eng.Metrics()
+	eng.Close()
+
+	if mx.Completed != 6 || mx.Failed != 0 {
+		t.Fatalf("completed %d failed %d", mx.Completed, mx.Failed)
+	}
+	if mx.PrefixHits == 0 {
+		t.Fatal("shared documents produced no prefix-cache hits")
+	}
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		var sel clusterkv.Selector
+		if reqs[i].NewSelector != nil {
+			sel = reqs[i].NewSelector()
+		}
+		seq := m.NewSequence(sel, reqs[i].Budget)
+		seq.Prefill(reqs[i].Prompt, nil)
+		tok := reqs[i].Prompt[len(reqs[i].Prompt)-1]
+		for j := 0; j < reqs[i].MaxNewTokens; j++ {
+			tok = argmax(seq.Decode(tok))
+			if r.Tokens[j] != tok {
+				t.Fatalf("request %d diverges from serial decode at token %d", i, j)
+			}
+		}
+	}
+}
+
 func argmax(x []float32) int {
 	best := 0
 	for i, v := range x {

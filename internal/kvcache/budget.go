@@ -1,0 +1,84 @@
+package kvcache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Accountant tracks aggregate simulated device residency across many
+// concurrent sequences against a global budget. Units are per-(layer, head)
+// token slots — the same unit as a Sequence's per-head KV budget — so a
+// sequence that keeps at most B tokens per head device-resident accounts for
+// B slots regardless of the model's layer/head count (every sequence scales
+// by the same factor).
+//
+// The serving engine reserves a sequence's worst-case residency at admission
+// time and releases it at retirement, which is what turns the per-sequence
+// Tier ledgers into a multi-tenant admission-control policy.
+//
+// An Accountant is safe for concurrent use.
+type Accountant struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	peak     int64
+}
+
+// NewAccountant returns an accountant with the given capacity in token
+// slots. capacity <= 0 means unlimited.
+func NewAccountant(capacity int64) *Accountant {
+	return &Accountant{capacity: capacity}
+}
+
+// Capacity returns the configured capacity (<= 0 for unlimited).
+func (a *Accountant) Capacity() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.capacity
+}
+
+// TryReserve atomically reserves n token slots if they fit, reporting
+// whether the reservation was granted. n must be non-negative.
+func (a *Accountant) TryReserve(n int64) bool {
+	if n < 0 {
+		panic("kvcache: TryReserve with negative size")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.capacity > 0 && a.used+n > a.capacity {
+		return false
+	}
+	a.used += n
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	return true
+}
+
+// Release returns n previously reserved slots. It panics if more is released
+// than is currently reserved (a double-release bug in the caller).
+func (a *Accountant) Release(n int64) {
+	if n < 0 {
+		panic("kvcache: Release with negative size")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n > a.used {
+		panic(fmt.Sprintf("kvcache: Release(%d) exceeds %d reserved", n, a.used))
+	}
+	a.used -= n
+}
+
+// Used returns the currently reserved slot count.
+func (a *Accountant) Used() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// Peak returns the high-water mark of reserved slots.
+func (a *Accountant) Peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}

@@ -86,6 +86,26 @@ func (s *Store) Clone() *Store {
 	return out
 }
 
+// Fork returns a store that shares s's current contents without copying.
+// Both stores may keep appending independently: the fork's slices are
+// capacity-clamped to the current length, so the first Append on either side
+// that outgrows the shared backing reallocates instead of overwriting the
+// other store's tokens. Existing rows are never mutated in place, which makes
+// the shared prefix safe to read concurrently from both stores.
+//
+// Fork is the substrate of prefix-cache sharing in the serving engine: one
+// prefill of a shared document is forked into every sequence that continues
+// from it.
+func (s *Store) Fork() *Store {
+	nd := s.n * s.headDim
+	return &Store{
+		headDim: s.headDim,
+		keys:    s.keys[:nd:nd],
+		vals:    s.vals[:nd:nd],
+		n:       s.n,
+	}
+}
+
 // Truncate drops all tokens at positions >= n. Used by harnesses that rewind
 // a sequence to a snapshot point.
 func (s *Store) Truncate(n int) {

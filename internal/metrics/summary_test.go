@@ -1,0 +1,59 @@
+package metrics
+
+import "testing"
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty summary must report zeros")
+	}
+}
+
+func TestSummaryOrderStatistics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		s.Add(x)
+	}
+	if s.N() != 5 || s.Min() != 1 || s.Max() != 5 || s.Mean() != 3 {
+		t.Fatalf("n=%d min=%v max=%v mean=%v", s.N(), s.Min(), s.Max(), s.Mean())
+	}
+	if got := s.Quantile(0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	// Interpolated quantile: q=0.25 over [1..5] sits exactly at 2.
+	if got := s.Quantile(0.25); got != 2 {
+		t.Fatalf("q25 = %v", got)
+	}
+	if got := s.Quantile(0.875); got != 4.5 {
+		t.Fatalf("q87.5 = %v", got)
+	}
+}
+
+func TestSummaryAddAfterQuantile(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	s.Add(1)
+	_ = s.Quantile(0.5) // forces sort
+	s.Add(5)
+	if s.Max() != 10 || s.Min() != 1 || s.Quantile(0.5) != 5 {
+		t.Fatal("Add after Quantile broke ordering")
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Add(2)
+	b.Add(3)
+	b.Add(4)
+	a.Merge(&b)
+	if a.N() != 4 || a.Max() != 4 || a.Mean() != 2.5 {
+		t.Fatalf("merge: n=%d max=%v mean=%v", a.N(), a.Max(), a.Mean())
+	}
+}

@@ -2,6 +2,8 @@ package model
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"clusterkv/internal/attention"
 	"clusterkv/internal/kvcache"
@@ -9,13 +11,22 @@ import (
 )
 
 // Model is an immutable set of weights plus configuration. A Model is safe
-// for concurrent use; per-sequence state lives in Sequence.
+// for concurrent use — many Sequences may Prefill/Decode in parallel from
+// different goroutines; per-sequence state lives in Sequence.
 type Model struct {
 	cfg Config
 	w   *weights
-	// ropeCos/ropeSin are lazily grown tables: [pos][HeadDim/2].
-	ropeCos [][]float32
-	ropeSin [][]float32
+	// rope is the lazily grown cos/sin table, published atomically so
+	// concurrent decoders read it lock-free; growth happens under ropeMu and
+	// republishes a longer table (rows are immutable once created).
+	rope   atomic.Pointer[ropeTable]
+	ropeMu sync.Mutex
+}
+
+// ropeTable holds per-position rotary tables: [pos][HeadDim/2].
+type ropeTable struct {
+	cos [][]float32
+	sin [][]float32
 }
 
 // New builds a model with deterministic structured weights.
@@ -28,10 +39,40 @@ func New(cfg Config) *Model {
 func (m *Model) Config() Config { return m.cfg }
 
 // ropeAt returns the cos/sin tables for a position, growing the cache.
+// The fast path is a lock-free atomic load; growth is serialised.
 func (m *Model) ropeAt(pos int) (cosv, sinv []float32) {
-	for len(m.ropeCos) <= pos {
-		p := len(m.ropeCos)
-		half := m.cfg.HeadDim / 2
+	t := m.rope.Load()
+	if t == nil || pos >= len(t.cos) {
+		t = m.growRope(pos)
+	}
+	return t.cos[pos], t.sin[pos]
+}
+
+// growRope extends the rope table to cover pos (with headroom) and publishes
+// the new table. Existing rows are shared; they are never mutated.
+func (m *Model) growRope(pos int) *ropeTable {
+	m.ropeMu.Lock()
+	defer m.ropeMu.Unlock()
+	t := m.rope.Load()
+	if t != nil && pos < len(t.cos) {
+		return t // another goroutine grew it first
+	}
+	var old ropeTable
+	if t != nil {
+		old = *t
+	}
+	want := pos + 1
+	if doubled := 2 * len(old.cos); doubled > want {
+		want = doubled
+	}
+	nt := &ropeTable{
+		cos: make([][]float32, want),
+		sin: make([][]float32, want),
+	}
+	copy(nt.cos, old.cos)
+	copy(nt.sin, old.sin)
+	half := m.cfg.HeadDim / 2
+	for p := len(old.cos); p < want; p++ {
 		c := make([]float32, half)
 		s := make([]float32, half)
 		for i := 0; i < half; i++ {
@@ -40,10 +81,11 @@ func (m *Model) ropeAt(pos int) (cosv, sinv []float32) {
 			c[i] = float32(math.Cos(ang))
 			s[i] = float32(math.Sin(ang))
 		}
-		m.ropeCos = append(m.ropeCos, c)
-		m.ropeSin = append(m.ropeSin, s)
+		nt.cos[p] = c
+		nt.sin[p] = s
 	}
-	return m.ropeCos[pos], m.ropeSin[pos]
+	m.rope.Store(nt)
+	return nt
 }
 
 // applyRope rotates v (HeadDim) in place for the given position.
@@ -296,8 +338,20 @@ func (s *Sequence) ffn(h []float32, lw *layerWeights) {
 // appended to the caches before selection, so the current token is always a
 // selection candidate (it sits in the unclustered decode tail).
 func (s *Sequence) Decode(token int) []float32 {
+	logits := make([]float32, s.m.cfg.VocabSize)
+	s.DecodeInto(token, logits)
+	return logits
+}
+
+// DecodeInto is Decode writing the next-token logits into a caller-provided
+// buffer of length VocabSize, avoiding the per-token allocation on hot
+// serving paths.
+func (s *Sequence) DecodeInto(token int, logits []float32) {
 	cfg := s.m.cfg
 	w := s.m.w
+	if len(logits) != cfg.VocabSize {
+		panic("model: DecodeInto logits buffer has wrong size")
+	}
 	copy(s.hidden, w.embed.Row(token))
 	pos := s.pos
 	group := cfg.GroupSize()
@@ -355,7 +409,5 @@ func (s *Sequence) Decode(token int) []float32 {
 	s.pos++
 
 	rmsNorm(s.normed, s.hidden, w.finalNorm)
-	logits := make([]float32, cfg.VocabSize)
 	tensor.MatVec(logits, w.embed, s.normed)
-	return logits
 }

@@ -1,0 +1,54 @@
+package model
+
+import (
+	"clusterkv/internal/attention"
+	"clusterkv/internal/kvcache"
+)
+
+// Snapshot captures a sequence's KV state at a point in time so that many
+// sequences can continue from it without re-running prefill. The snapshot's
+// stores are zero-copy forks (kvcache.Store.Fork): the shared prefix is read
+// by every descendant, while each descendant's appends go to its own tail.
+//
+// This is the serving engine's prefix cache: one prefill of a shared
+// document, forked into every request that asks a question about it.
+type Snapshot struct {
+	cfg    Config
+	stores []*kvcache.Store
+	pos    int
+}
+
+// Snapshot freezes the sequence's current KV state. The sequence remains
+// usable; later tokens appended to it do not appear in the snapshot.
+func (s *Sequence) Snapshot() *Snapshot {
+	snap := &Snapshot{cfg: s.m.cfg, pos: s.pos}
+	snap.stores = make([]*kvcache.Store, len(s.stores))
+	for i, st := range s.stores {
+		snap.stores[i] = st.Fork()
+	}
+	return snap
+}
+
+// Len returns the number of tokens captured in the snapshot.
+func (snap *Snapshot) Len() int { return snap.pos }
+
+// NewSequenceFrom creates a sequence that continues from a snapshot taken on
+// a sequence of this model. The new sequence shares the snapshot's KV prefix
+// zero-copy and appends independently. The selector is Reset but has seen
+// none of the prefix yet: callers must Prefill at least one continuation
+// token afterwards, which replays OnPrefill over the complete stores so the
+// selector builds its metadata (clusters, pages, ...) over prefix+suffix.
+func (m *Model) NewSequenceFrom(snap *Snapshot, sel attention.Selector, budget int) *Sequence {
+	if snap == nil {
+		panic("model: NewSequenceFrom with nil snapshot")
+	}
+	if snap.cfg.NLayers != m.cfg.NLayers || snap.cfg.NKVHeads != m.cfg.NKVHeads || snap.cfg.HeadDim != m.cfg.HeadDim {
+		panic("model: snapshot shape does not match model")
+	}
+	s := m.NewSequence(sel, budget)
+	for i, st := range snap.stores {
+		s.stores[i] = st.Fork()
+	}
+	s.pos = snap.pos
+	return s
+}

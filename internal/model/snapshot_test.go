@@ -1,0 +1,152 @@
+package model
+
+import (
+	"sync"
+	"testing"
+)
+
+func argmax(xs []float32) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// forkEquivalence checks that prefilling a shared prefix once, snapshotting,
+// and continuing with a per-request suffix produces exactly the logits of
+// prefilling prefix+suffix from scratch.
+func TestSnapshotForkMatchesFullPrefill(t *testing.T) {
+	m := New(tinyConfig())
+	doc := tinyDoc(96)
+	prefix, suffixA, suffixB := doc[:64], doc[64:80], doc[80:96]
+
+	base := m.NewSequence(nil, 0)
+	base.Prefill(prefix, nil)
+	snap := base.Snapshot()
+
+	decode := func(seq *Sequence, n int) []int {
+		tok := suffixA[len(suffixA)-1]
+		out := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			logits := seq.Decode(tok)
+			tok = argmax(logits)
+			out = append(out, tok)
+		}
+		return out
+	}
+
+	// Reference: full prefill of prefix+suffixA.
+	ref := m.NewSequence(nil, 0)
+	ref.Prefill(append(append([]int{}, prefix...), suffixA...), nil)
+	want := decode(ref, 8)
+
+	// Forked: continue from the snapshot.
+	forked := m.NewSequenceFrom(snap, nil, 0)
+	forked.Prefill(suffixA, nil)
+	if forked.Len() != len(prefix)+len(suffixA) {
+		t.Fatalf("forked length %d", forked.Len())
+	}
+	got := decode(forked, 8)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fork diverges at token %d: %v vs %v", i, got, want)
+		}
+	}
+
+	// A second fork with a different suffix must not disturb the first; and
+	// the snapshot itself must be unchanged by descendants' decoding.
+	forked2 := m.NewSequenceFrom(snap, nil, 0)
+	forked2.Prefill(suffixB, nil)
+	decode(forked2, 8)
+	if snap.Len() != len(prefix) {
+		t.Fatalf("snapshot length mutated: %d", snap.Len())
+	}
+	again := m.NewSequenceFrom(snap, nil, 0)
+	again.Prefill(suffixA, nil)
+	got2 := decode(again, 8)
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("snapshot reuse diverges at token %d", i)
+		}
+	}
+}
+
+func TestSnapshotShapeMismatchPanics(t *testing.T) {
+	m := New(tinyConfig())
+	seq := m.NewSequence(nil, 0)
+	seq.Prefill(tinyDoc(8), nil)
+	snap := seq.Snapshot()
+
+	other := DefaultConfig() // different shape than tinyConfig
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	New(other).NewSequenceFrom(snap, nil, 0)
+}
+
+// TestConcurrentDecodeIsRaceFreeAndDeterministic drives several sequences of
+// one shared Model from parallel goroutines (exercising the lazily grown
+// rope tables under -race) and checks each stream matches its serial run.
+func TestConcurrentDecodeIsRaceFreeAndDeterministic(t *testing.T) {
+	m := New(tinyConfig())
+	doc := tinyDoc(48)
+
+	run := func(m *Model, seed int) []int {
+		seq := m.NewSequence(nil, 0)
+		seq.Prefill(doc[:32+seed], nil)
+		tok := doc[0]
+		out := make([]int, 0, 12)
+		for i := 0; i < 12; i++ {
+			tok = argmax(seq.Decode(tok))
+			out = append(out, tok)
+		}
+		return out
+	}
+
+	want := make([][]int, 8)
+	for i := range want {
+		want[i] = run(New(tinyConfig()), i%4)
+	}
+
+	var wg sync.WaitGroup
+	got := make([][]int, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = run(m, i%4)
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("stream %d diverges under concurrency", i)
+			}
+		}
+	}
+}
+
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	m := New(tinyConfig())
+	a := m.NewSequence(nil, 0)
+	b := m.NewSequence(nil, 0)
+	doc := tinyDoc(16)
+	a.Prefill(doc, nil)
+	b.Prefill(doc, nil)
+	buf := make([]float32, m.Config().VocabSize)
+	for i := 0; i < 4; i++ {
+		want := a.Decode(doc[i])
+		b.DecodeInto(doc[i], buf)
+		for j := range want {
+			if want[j] != buf[j] {
+				t.Fatalf("DecodeInto diverges at step %d, logit %d", i, j)
+			}
+		}
+	}
+}

@@ -25,6 +25,55 @@ func TestFullyHiddenSideJobs(t *testing.T) {
 	}
 }
 
+func TestEmptyStageList(t *testing.T) {
+	for _, stages := range [][]Stage{nil, {}} {
+		res := Overlap(stages)
+		if res.MainTotal != 0 || res.SideBusy != 0 || res.Total != 0 || res.Exposed != 0 {
+			t.Fatalf("empty pipeline: %+v", res)
+		}
+	}
+}
+
+func TestAllZeroSideJobs(t *testing.T) {
+	// SideJob == 0 stages must not advance the side stream even when their
+	// ReadyFrac is set, and zero-compute stages are tolerated.
+	stages := []Stage{
+		{Compute: 2, SideJob: 0, ReadyFrac: 0.5},
+		{Compute: 0, SideJob: 0, ReadyFrac: 1},
+		{Compute: 3, SideJob: 0, ReadyFrac: 0},
+	}
+	res := Overlap(stages)
+	if res.MainTotal != 5 || res.Total != 5 || res.SideBusy != 0 || res.Exposed != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestSideJobReadyAfterMainEnds(t *testing.T) {
+	// The last stage's side job becomes ready exactly when the main stream
+	// finishes (ReadyFrac = 1): it is fully exposed.
+	stages := []Stage{
+		{Compute: 1},
+		{Compute: 2, SideJob: 4, ReadyFrac: 1},
+	}
+	res := Overlap(stages)
+	if res.MainTotal != 3 {
+		t.Fatalf("MainTotal = %v", res.MainTotal)
+	}
+	if math.Abs(res.Total-7) > 1e-12 || math.Abs(res.Exposed-4) > 1e-12 {
+		t.Fatalf("fully exposed side job: %+v", res)
+	}
+	// A queued side job whose predecessor pushes its start past the main
+	// stream's end is also fully serialised after it.
+	stages = []Stage{
+		{Compute: 2, SideJob: 5, ReadyFrac: 0.5}, // side: [1, 6)
+		{Compute: 1, SideJob: 2, ReadyFrac: 0},   // ready at 2, starts at 6
+	}
+	res = Overlap(stages)
+	if math.Abs(res.Total-8) > 1e-12 || math.Abs(res.Exposed-5) > 1e-12 {
+		t.Fatalf("queued-past-main side job: %+v", res)
+	}
+}
+
 func TestSideJobOutlastsMain(t *testing.T) {
 	// One huge side job from the last stage extends the makespan.
 	stages := []Stage{{Compute: 1}, {Compute: 1, SideJob: 10, ReadyFrac: 0.5}}

@@ -1,0 +1,635 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clusterkv/internal/attention"
+	"clusterkv/internal/kvcache"
+	"clusterkv/internal/model"
+	"clusterkv/internal/rng"
+)
+
+// Config holds the engine tunables.
+type Config struct {
+	// Workers is the size of the decode worker pool. Values <= 1 run every
+	// step inline on the scheduler goroutine (fully sequential rounds).
+	// DefaultConfig uses GOMAXPROCS.
+	Workers int
+	// MaxBatch caps the number of concurrently decoding sequences (the
+	// continuous-batching batch size). Default 8.
+	MaxBatch int
+	// QueueCap bounds the intake queue; Submit blocks when it is full
+	// (backpressure). Default 256.
+	QueueCap int
+	// KVBudget is the global device-residency budget across all sequences
+	// and cached prefixes, in per-head token slots (see kvcache.Accountant).
+	// 0 means unlimited.
+	KVBudget int64
+	// NoPrefixCache disables shared-prefix prefill reuse (on by default).
+	NoPrefixCache bool
+	// Seed drives sampling and any tie-breaking, making runs reproducible.
+	Seed uint64
+}
+
+// DefaultConfig returns the default engine configuration.
+func DefaultConfig() Config {
+	return Config{
+		Workers:  runtime.GOMAXPROCS(0),
+		MaxBatch: 8,
+		QueueCap: 256,
+		KVBudget: 0,
+		Seed:     1,
+	}
+}
+
+// Engine is a continuous-batching serving engine over one Model. All methods
+// are safe for concurrent use.
+type Engine struct {
+	m    *model.Model
+	cfg  Config
+	acct *kvcache.Accountant
+
+	intake chan []*task
+	jobs   chan func()
+
+	submitMu sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+	nextID   uint64
+
+	abort atomic.Bool
+	done  chan struct{}
+
+	mx engineMetrics
+}
+
+// task is one request in flight.
+type task struct {
+	id  uint64
+	req Request
+
+	ch        chan Response
+	resp      Response
+	submitted time.Time
+
+	// scheduler state
+	entry    *prefixEntry // non-nil when sharing a prefix
+	builder  bool         // this task builds entry's snapshot
+	reserved int64
+
+	// decode state (touched only by the worker running this task's step)
+	seq       *model.Sequence
+	prefilled bool
+	lastTok   int
+	logits    []float32
+	probs     []float64 // sampling scratch, reused across tokens
+	sampler   *rng.RNG
+	tokenLat  []float64 // seconds per generated token
+	prefillN  int       // tokens actually prefilled by this task
+	failed    error     // set by a step that cannot proceed
+}
+
+// prefixEntry is one cached shared-prefix prefill.
+type prefixEntry struct {
+	key      uint64 // map key (post-probing), for unpublishing on failure
+	tokens   []int
+	snap     *model.Snapshot // set by the builder's first step
+	ready    bool
+	cost     int64
+	refs     int   // active tasks forked from (or building) this entry
+	lastUsed int64 // round of last use, for LRU eviction under pressure
+}
+
+// NewEngine starts an engine. Callers must Close (or Shutdown) it.
+func NewEngine(m *model.Model, cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	e := &Engine{
+		m:      m,
+		cfg:    cfg,
+		acct:   kvcache.NewAccountant(cfg.KVBudget),
+		intake: make(chan []*task, cfg.QueueCap),
+		done:   make(chan struct{}),
+	}
+	if cfg.Workers > 1 {
+		e.jobs = make(chan func(), cfg.Workers)
+		for i := 0; i < cfg.Workers; i++ {
+			go func() {
+				for job := range e.jobs {
+					job()
+				}
+			}()
+		}
+	}
+	go e.loop()
+	return e
+}
+
+// Accountant exposes the shared residency ledger (read-only use intended).
+func (e *Engine) Accountant() *kvcache.Accountant { return e.acct }
+
+// Submit enqueues one request. It blocks while the intake queue is full and
+// returns immediately with a failed Ticket once the engine is closed.
+func (e *Engine) Submit(req Request) *Ticket {
+	ts, tickets, ok := e.prepare([]Request{req})
+	if !ok {
+		return failedTicket(0, ErrClosed)
+	}
+	if len(ts) > 0 {
+		e.intake <- ts
+	}
+	e.inflight.Done()
+	return tickets[0]
+}
+
+// Run submits the whole request set as one deterministic batch, waits for
+// every response, and returns them in submission order. Given identical
+// requests, config and seed, Run produces identical token streams and
+// identical scheduling rounds on every call (run it on a fresh engine for
+// identical request ids and rounds).
+func (e *Engine) Run(reqs []Request) []Response {
+	ts, tickets, ok := e.prepare(reqs)
+	if !ok {
+		out := make([]Response, len(reqs))
+		for i := range out {
+			out[i] = Response{Err: ErrClosed}
+		}
+		return out
+	}
+	if len(ts) > 0 {
+		e.intake <- ts
+	}
+	e.inflight.Done()
+	out := make([]Response, len(tickets))
+	for i, tk := range tickets {
+		out[i] = tk.Wait()
+	}
+	return out
+}
+
+// prepare validates requests and registers the submission. It returns the
+// valid tasks to enqueue plus one ticket per request (invalid requests get
+// an already-failed ticket). ok is false when the engine is closed. On
+// ok, the caller holds one inflight reference and must Done it after
+// sending the tasks.
+func (e *Engine) prepare(reqs []Request) ([]*task, []*Ticket, bool) {
+	e.submitMu.Lock()
+	if e.closed {
+		e.submitMu.Unlock()
+		return nil, nil, false
+	}
+	now := time.Now()
+	vocab := e.m.Config().VocabSize
+	ts := make([]*task, 0, len(reqs))
+	tickets := make([]*Ticket, len(reqs))
+	for i := range reqs {
+		e.nextID++
+		id := e.nextID
+		ch := make(chan Response, 1)
+		tickets[i] = &Ticket{ID: id, ch: ch}
+		e.mx.submitted.Add(1)
+		err := reqs[i].validate()
+		if err == nil && !tokensInRange(reqs[i].Prompt, vocab) {
+			err = ErrBadRequest
+		}
+		if err != nil {
+			e.mx.observeRejected()
+			ch <- Response{ID: id, Err: err}
+			continue
+		}
+		ts = append(ts, &task{id: id, req: reqs[i], ch: ch, submitted: now})
+	}
+	e.inflight.Add(1)
+	e.submitMu.Unlock()
+	return ts, tickets, true
+}
+
+// Close stops intake and blocks until every accepted request has completed
+// (graceful drain).
+func (e *Engine) Close() {
+	e.closeIntake()
+	<-e.done
+}
+
+// Shutdown drains like Close but aborts outstanding requests with
+// ErrAborted when the context expires first, returning the context error.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.closeIntake()
+	select {
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		e.abort.Store(true)
+		<-e.done
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) closeIntake() {
+	e.submitMu.Lock()
+	already := e.closed
+	e.closed = true
+	e.submitMu.Unlock()
+	if already {
+		return
+	}
+	e.inflight.Wait() // every in-flight Submit/Run send has landed
+	close(e.intake)
+}
+
+// ---- Scheduler --------------------------------------------------------------
+
+// loop is the scheduler: a round-based continuous-batching loop. Each round
+// admits from the pending queue under the KV budget, runs one step (prefill
+// or one decode token) for every active stream on the worker pool, and
+// retires finished streams so the next round can admit replacements.
+func (e *Engine) loop() {
+	defer close(e.done)
+	if e.jobs != nil {
+		defer close(e.jobs) // release the worker pool on exit
+	}
+	var (
+		pending  []*task
+		active   []*task
+		prefixes = map[uint64]*prefixEntry{}
+		round    int64
+		open     = true
+	)
+	for {
+		// Intake: block only when fully idle; otherwise drain what's there.
+		if open && len(pending) == 0 && len(active) == 0 {
+			batch, ok := <-e.intake
+			if !ok {
+				open = false
+			} else {
+				pending = append(pending, batch...)
+			}
+		}
+		for open {
+			select {
+			case batch, ok := <-e.intake:
+				if !ok {
+					open = false
+				} else {
+					pending = append(pending, batch...)
+				}
+				continue
+			default:
+			}
+			break
+		}
+		if e.abort.Load() {
+			pending = e.failAll(pending, active, prefixes)
+			active = nil
+		}
+		if len(pending) == 0 && len(active) == 0 {
+			if !open {
+				e.releasePrefixes(prefixes)
+				return
+			}
+			continue
+		}
+
+		round++
+		// Admission: FIFO with head-of-line blocking, so a burst of small
+		// requests cannot starve a large one forever.
+		for len(pending) > 0 && len(active) < e.cfg.MaxBatch {
+			t := pending[0]
+			st := e.admit(t, prefixes, round)
+			if st == admitWait {
+				break
+			}
+			pending = pending[1:]
+			if st == admitFailed {
+				continue
+			}
+			active = append(active, t)
+		}
+		e.mx.observeRound(len(pending), len(active))
+		if len(active) == 0 {
+			// Nothing runnable this round. With correct accounting this is
+			// unreachable while requests are pending (retirement or prefix
+			// eviction always frees room eventually); yield briefly rather
+			// than spin in case a queued head is waiting on intake churn.
+			if len(pending) > 0 {
+				time.Sleep(time.Millisecond)
+			}
+			continue
+		}
+
+		e.runRound(active)
+
+		// Post-round: publish built prefixes, retire finished tasks. A
+		// builder that failed before its snapshot existed unpublishes the
+		// entry, so later same-prefix requests rebuild instead of waiting
+		// forever on a never-ready entry.
+		for _, t := range active {
+			if !t.builder || t.entry.ready {
+				continue
+			}
+			if t.entry.snap != nil {
+				t.entry.ready = true
+			} else if t.failed != nil {
+				delete(prefixes, t.entry.key)
+				e.acct.Release(t.entry.cost)
+			}
+		}
+		n := 0
+		for _, t := range active {
+			if t.failed != nil {
+				e.retire(t, round, t.failed)
+				continue
+			}
+			if len(t.resp.Tokens) >= t.req.MaxNewTokens {
+				e.retire(t, round, nil)
+				continue
+			}
+			active[n] = t
+			n++
+		}
+		active = active[:n]
+	}
+}
+
+type admitStatus int
+
+const (
+	admitOK admitStatus = iota
+	admitWait
+	admitFailed
+)
+
+// admit tries to activate the pending head. It reserves the request's KV
+// cost (plus the prefix-cache entry when it creates one) and wires the task
+// to its prefix entry.
+func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) admitStatus {
+	r := &t.req
+	share := !e.cfg.NoPrefixCache && r.SharedPrefixLen > 0
+	var entry *prefixEntry
+	if share {
+		prefix := r.Prompt[:r.SharedPrefixLen]
+		key := prefixKey(prefix)
+		for {
+			got, ok := prefixes[key]
+			if !ok {
+				break
+			}
+			if sameTokens(got.tokens, prefix) {
+				entry = got
+				break
+			}
+			key++ // linear probe on (astronomically unlikely) hash collision
+		}
+		if entry != nil && !entry.ready {
+			// Someone is building this prefix right now; wait a round
+			// rather than duplicating the prefill.
+			return admitWait
+		}
+	}
+
+	// With sharing, the prefix's residency is accounted on the cache entry
+	// (created below if absent), so the request itself is always charged
+	// only its marginal tail.
+	cost := kvCost(r, share)
+	need := cost
+	var newEntry *prefixEntry
+	if share && entry == nil {
+		newEntry = &prefixEntry{
+			tokens: r.Prompt[:r.SharedPrefixLen],
+			cost:   int64(r.SharedPrefixLen),
+		}
+		need += newEntry.cost
+	}
+	granted := e.acct.TryReserve(need)
+	for !granted && e.evictIdlePrefix(prefixes) {
+		// Free idle cached prefixes (oldest first) and retry.
+		granted = e.acct.TryReserve(need)
+	}
+	if !granted {
+		if cap := e.acct.Capacity(); cap > 0 && need > cap {
+			e.retire(t, round, ErrTooLarge)
+			return admitFailed
+		}
+		return admitWait // budget busy; retirement will free room
+	}
+	t.reserved = cost
+	if newEntry != nil {
+		key := prefixKey(newEntry.tokens)
+		for {
+			if _, ok := prefixes[key]; !ok {
+				break
+			}
+			key++
+		}
+		newEntry.key = key
+		prefixes[key] = newEntry
+		entry = newEntry
+		t.builder = true
+	}
+	if entry != nil {
+		entry.refs++
+		entry.lastUsed = round
+		t.entry = entry
+		t.resp.PrefixHit = !t.builder
+	}
+	t.resp.ID = t.id
+	t.resp.KVReserved = t.reserved
+	t.resp.AdmitRound = round
+	t.resp.QueueWait = time.Since(t.submitted)
+	if t.req.Temperature > 0 {
+		t.sampler = rng.New(e.cfg.Seed ^ (t.id * 0x9e3779b97f4a7c15))
+	}
+	e.mx.observeAdmit(t)
+	return admitOK
+}
+
+// evictIdlePrefix drops the least-recently-used unreferenced prefix entry,
+// releasing its reservation. It reports whether anything was evicted.
+func (e *Engine) evictIdlePrefix(prefixes map[uint64]*prefixEntry) bool {
+	var victimKey uint64
+	var victim *prefixEntry
+	for k, p := range prefixes {
+		if p.refs > 0 || !p.ready {
+			continue
+		}
+		if victim == nil || p.lastUsed < victim.lastUsed {
+			victim, victimKey = p, k
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(prefixes, victimKey)
+	e.acct.Release(victim.cost)
+	e.mx.prefixEvicted.Add(1)
+	return true
+}
+
+// runRound executes one step for every active task: inline when the worker
+// pool is disabled, otherwise fanned out and barriered.
+func (e *Engine) runRound(active []*task) {
+	if e.jobs == nil {
+		for _, t := range active {
+			e.step(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(active))
+	for _, t := range active {
+		t := t
+		e.jobs <- func() {
+			defer wg.Done()
+			e.step(t)
+		}
+	}
+	wg.Wait()
+}
+
+// step advances one task by one unit of work: its prefill plus first token
+// on the first round after admission, one decoded token afterwards.
+func (e *Engine) step(t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok {
+				t.failed = err
+			} else {
+				t.failed = ErrBadRequest
+			}
+		}
+	}()
+	if !t.prefilled {
+		e.prefillStep(t)
+		return
+	}
+	start := time.Now()
+	t.decodeOne()
+	t.tokenLat = append(t.tokenLat, time.Since(start).Seconds())
+}
+
+func (e *Engine) prefillStep(t *task) {
+	r := &t.req
+	var sel attention.Selector
+	if r.NewSelector != nil {
+		sel = r.NewSelector()
+	}
+	if t.entry != nil {
+		if t.builder {
+			base := e.m.NewSequence(nil, 0)
+			base.Prefill(t.entry.tokens, nil)
+			t.entry.snap = base.Snapshot() // published by the scheduler post-round
+			t.prefillN += len(t.entry.tokens)
+		}
+		t.seq = e.m.NewSequenceFrom(t.entry.snap, sel, r.Budget)
+		suffix := r.Prompt[r.SharedPrefixLen:]
+		t.seq.Prefill(suffix, nil)
+		t.prefillN += len(suffix)
+	} else {
+		t.seq = e.m.NewSequence(sel, r.Budget)
+		t.seq.Prefill(r.Prompt, nil)
+		t.prefillN += len(r.Prompt)
+	}
+	t.logits = make([]float32, e.m.Config().VocabSize)
+	t.lastTok = r.Prompt[len(r.Prompt)-1]
+	t.prefilled = true
+	// First generated token rides the prefill round (its logits come from
+	// re-feeding the last prompt token, the repository's decode idiom).
+	t.decodeOne()
+	t.resp.TTFT = time.Since(t.submitted)
+}
+
+func (t *task) decodeOne() {
+	t.seq.DecodeInto(t.lastTok, t.logits)
+	t.lastTok = t.sample()
+	t.resp.Tokens = append(t.resp.Tokens, t.lastTok)
+}
+
+// sample picks the next token: greedy argmax (lowest index wins ties) or
+// seeded softmax sampling at Temperature.
+func (t *task) sample() int {
+	logits := t.logits
+	if t.sampler == nil {
+		best := 0
+		for i, v := range logits {
+			if v > logits[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	invT := 1 / t.req.Temperature
+	maxv := float64(logits[0])
+	for _, v := range logits[1:] {
+		if float64(v) > maxv {
+			maxv = float64(v)
+		}
+	}
+	if t.probs == nil {
+		t.probs = make([]float64, len(logits))
+	}
+	var sum float64
+	probs := t.probs
+	for i, v := range logits {
+		p := math.Exp((float64(v) - maxv) * invT)
+		probs[i] = p
+		sum += p
+	}
+	u := t.sampler.Float64() * sum
+	var acc float64
+	for i, p := range probs {
+		acc += p
+		if u <= acc {
+			return i
+		}
+	}
+	return len(logits) - 1
+}
+
+// retire releases a task's resources and delivers its response.
+func (e *Engine) retire(t *task, round int64, err error) {
+	if t.reserved > 0 {
+		e.acct.Release(t.reserved)
+		t.reserved = 0
+	}
+	if t.entry != nil {
+		t.entry.refs--
+		t.entry = nil
+	}
+	t.resp.Err = err
+	t.resp.DoneRound = round
+	t.resp.Total = time.Since(t.submitted)
+	e.mx.observeRetire(t, err)
+	t.ch <- t.resp
+}
+
+// failAll aborts every pending and active task (Shutdown past deadline).
+func (e *Engine) failAll(pending, active []*task, prefixes map[uint64]*prefixEntry) []*task {
+	for _, t := range active {
+		e.retire(t, -1, ErrAborted)
+	}
+	for _, t := range pending {
+		e.retire(t, -1, ErrAborted)
+	}
+	e.releasePrefixes(prefixes)
+	return nil
+}
+
+// releasePrefixes returns all cached prefix reservations.
+func (e *Engine) releasePrefixes(prefixes map[uint64]*prefixEntry) {
+	for k, p := range prefixes {
+		delete(prefixes, k)
+		e.acct.Release(p.cost)
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clusterkv/internal/metrics"
+)
+
+// LatencyStats condenses a latency distribution for reporting. All values
+// are seconds.
+type LatencyStats struct {
+	N                   int
+	Mean, P50, P95, Max float64
+}
+
+func summarize(s *metrics.Summary) LatencyStats {
+	return LatencyStats{
+		N:    s.N(),
+		Mean: s.Mean(),
+		P50:  s.Quantile(0.5),
+		P95:  s.Quantile(0.95),
+		Max:  s.Max(),
+	}
+}
+
+func (l LatencyStats) String() string {
+	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p95=%.2fms max=%.2fms",
+		l.N, l.Mean*1e3, l.P50*1e3, l.P95*1e3, l.Max*1e3)
+}
+
+// Metrics is a point-in-time snapshot of the engine's aggregate counters.
+type Metrics struct {
+	// Request counters.
+	Submitted, Completed, Failed uint64
+	// Prefix-cache counters. Hits and misses count shared-prefix requests
+	// only; requests without a shared prefix count in neither.
+	PrefixHits, PrefixMisses, PrefixEvicted uint64
+	// TokensGenerated counts sampled tokens across completed and in-flight
+	// retired work; PrefillTokens counts tokens actually prefilled (prefix
+	// hits skip their shared part).
+	TokensGenerated, PrefillTokens int64
+	// Rounds is the number of scheduler rounds executed.
+	Rounds int64
+	// Elapsed spans first admission to last retirement.
+	Elapsed time.Duration
+	// KV accounting (per-head token slots; see kvcache.Accountant).
+	KVUsed, KVPeak, KVCapacity int64
+	// Latency distributions.
+	TTFT, TokenLatency, QueueWait LatencyStats
+	// Scheduler gauges, averaged per round.
+	MeanQueueDepth, MeanBatchOccupancy float64
+}
+
+// Throughput returns aggregate generated tokens per second over Elapsed.
+func (m Metrics) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.TokensGenerated) / m.Elapsed.Seconds()
+}
+
+// String formats the snapshot as a small report.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests: %d submitted, %d completed, %d failed\n",
+		m.Submitted, m.Completed, m.Failed)
+	fmt.Fprintf(&b, "tokens:   %d generated, %d prefilled, %.1f tok/s aggregate\n",
+		m.TokensGenerated, m.PrefillTokens, m.Throughput())
+	fmt.Fprintf(&b, "prefix cache: %d hits, %d misses, %d evicted\n",
+		m.PrefixHits, m.PrefixMisses, m.PrefixEvicted)
+	fmt.Fprintf(&b, "kv slots: %d used, %d peak, %d capacity\n",
+		m.KVUsed, m.KVPeak, m.KVCapacity)
+	fmt.Fprintf(&b, "scheduler: %d rounds, mean queue depth %.2f, mean batch %.2f\n",
+		m.Rounds, m.MeanQueueDepth, m.MeanBatchOccupancy)
+	fmt.Fprintf(&b, "ttft:      %s\n", m.TTFT)
+	fmt.Fprintf(&b, "token lat: %s\n", m.TokenLatency)
+	fmt.Fprintf(&b, "queue wait: %s\n", m.QueueWait)
+	return b.String()
+}
+
+// engineMetrics is the engine-internal accumulator.
+type engineMetrics struct {
+	submitted     atomic.Uint64
+	prefixEvicted atomic.Uint64
+
+	mu                       sync.Mutex
+	completed, failed        uint64
+	prefixHits, prefixMisses uint64
+	tokensOut, prefillTokens int64
+	rounds                   int64
+	queueDepth, batchOcc     metrics.Summary
+	ttft, tokenLat, qwait    metrics.Summary
+	firstAdmit, lastDone     time.Time
+}
+
+func (x *engineMetrics) observeRound(queued, active int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.rounds++
+	x.queueDepth.Add(float64(queued))
+	x.batchOcc.Add(float64(active))
+}
+
+// observeRejected counts a request failed at validation, before it ever
+// reached the scheduler, so Submitted == Completed + Failed holds.
+func (x *engineMetrics) observeRejected() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.failed++
+}
+
+func (x *engineMetrics) observeAdmit(t *task) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.firstAdmit.IsZero() {
+		x.firstAdmit = time.Now()
+	}
+	x.qwait.Add(t.resp.QueueWait.Seconds())
+	if t.entry != nil {
+		if t.builder {
+			x.prefixMisses++
+		} else {
+			x.prefixHits++
+		}
+	}
+}
+
+func (x *engineMetrics) observeRetire(t *task, err error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if err != nil {
+		x.failed++
+	} else {
+		x.completed++
+	}
+	x.tokensOut += int64(len(t.resp.Tokens))
+	x.prefillTokens += int64(t.prefillN)
+	if t.prefilled {
+		x.ttft.Add(t.resp.TTFT.Seconds())
+	}
+	for _, l := range t.tokenLat {
+		x.tokenLat.Add(l)
+	}
+	x.lastDone = time.Now()
+}
+
+// Metrics returns a snapshot of the engine's aggregate metrics.
+func (e *Engine) Metrics() Metrics {
+	x := &e.mx
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var elapsed time.Duration
+	if !x.firstAdmit.IsZero() && x.lastDone.After(x.firstAdmit) {
+		elapsed = x.lastDone.Sub(x.firstAdmit)
+	}
+	return Metrics{
+		Submitted:          x.submitted.Load(),
+		Completed:          x.completed,
+		Failed:             x.failed,
+		PrefixHits:         x.prefixHits,
+		PrefixMisses:       x.prefixMisses,
+		PrefixEvicted:      x.prefixEvicted.Load(),
+		TokensGenerated:    x.tokensOut,
+		PrefillTokens:      x.prefillTokens,
+		Rounds:             x.rounds,
+		Elapsed:            elapsed,
+		KVUsed:             e.acct.Used(),
+		KVPeak:             e.acct.Peak(),
+		KVCapacity:         e.acct.Capacity(),
+		TTFT:               summarize(&x.ttft),
+		TokenLatency:       summarize(&x.tokenLat),
+		QueueWait:          summarize(&x.qwait),
+		MeanQueueDepth:     x.queueDepth.Mean(),
+		MeanBatchOccupancy: x.batchOcc.Mean(),
+	}
+}

@@ -1,0 +1,184 @@
+// Package serve implements a concurrent inference-serving engine on top of
+// the transformer model and the pluggable KV-compression selectors: the
+// subsystem that turns the single-stream reproduction into a multi-tenant
+// server and lets ClusterKV be measured under load.
+//
+// The engine implements the serving-side techniques the paper's systems
+// context assumes:
+//
+//   - continuous batching: admission happens at every decode-round boundary,
+//     so a finished request's slot is refilled immediately instead of
+//     waiting for a whole batch to drain;
+//   - admission control: a bounded intake queue provides backpressure, and a
+//     shared kvcache.Accountant tracks aggregate device residency across all
+//     sequences against a global KV budget — a request is only admitted when
+//     its worst-case residency fits;
+//   - prefix caching: requests that declare a shared prompt prefix (the
+//     long-document multi-question scenario ClusterKV targets) reuse one
+//     prefill via zero-copy kvcache.Store forks instead of recomputing it;
+//   - per-request selectors: every request brings its own Selector factory,
+//     so ClusterKV, Quest and FullKV tenants can share one server;
+//   - deterministic execution: given a seed and a fixed submission order,
+//     token streams and scheduling rounds are reproducible run-to-run.
+//
+// Lifecycle: NewEngine starts the scheduler and worker pool; Submit enqueues
+// a request and returns a Ticket; Run is the deterministic batch
+// convenience; Close drains gracefully; Shutdown aborts on context expiry.
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"clusterkv/internal/attention"
+)
+
+// Errors returned in Response.Err.
+var (
+	// ErrClosed reports a Submit after Close/Shutdown began.
+	ErrClosed = errors.New("serve: engine closed")
+	// ErrAborted reports a request cancelled by Shutdown before completion.
+	ErrAborted = errors.New("serve: request aborted by shutdown")
+	// ErrBadRequest reports an invalid request (empty prompt, non-positive
+	// MaxNewTokens, out-of-range SharedPrefixLen).
+	ErrBadRequest = errors.New("serve: invalid request")
+	// ErrTooLarge reports a request whose worst-case KV residency can never
+	// fit the engine's global budget.
+	ErrTooLarge = errors.New("serve: request exceeds global KV budget")
+)
+
+// Request describes one generation job.
+type Request struct {
+	// Prompt is the full token prompt.
+	Prompt []int
+	// SharedPrefixLen marks Prompt[:SharedPrefixLen] as shareable: requests
+	// carrying an identical prefix reuse a single prefill snapshot
+	// (content-addressed, verified token-by-token). 0 disables sharing.
+	// Must be < len(Prompt): the engine needs at least one suffix token to
+	// replay selector prefill over the forked stores.
+	SharedPrefixLen int
+	// MaxNewTokens is the number of tokens to generate. Must be positive.
+	MaxNewTokens int
+	// Budget is the per-head KV token budget handed to the selector;
+	// <= 0 means unbudgeted.
+	Budget int
+	// NewSelector builds this request's KV-selection policy (ClusterKV,
+	// Quest, ...). nil requests full attention.
+	NewSelector func() attention.Selector
+	// Temperature > 0 enables seeded softmax sampling; 0 decodes greedily.
+	Temperature float64
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	// ID is the engine-assigned request id, increasing in submission order.
+	ID uint64
+	// Tokens are the generated tokens (len == MaxNewTokens on success).
+	Tokens []int
+	// Err is nil on success.
+	Err error
+	// PrefixHit reports whether the shared prefix was served from the
+	// prefix cache instead of being prefilled.
+	PrefixHit bool
+	// KVReserved is the device-residency reservation (per-head token slots)
+	// this request held while active.
+	KVReserved int64
+	// QueueWait is the time from Submit to admission.
+	QueueWait time.Duration
+	// TTFT is the time from Submit to the first generated token.
+	TTFT time.Duration
+	// Total is the time from Submit to completion.
+	Total time.Duration
+	// AdmitRound and DoneRound are the scheduler rounds of admission and
+	// retirement. They are wall-clock independent, so deterministic runs can
+	// assert identical scheduling across repeats.
+	AdmitRound, DoneRound int64
+}
+
+// Ticket is the handle returned by Submit.
+type Ticket struct {
+	// ID is the engine-assigned request id.
+	ID uint64
+	ch chan Response
+}
+
+// Done returns the channel the Response is delivered on (buffered; the
+// engine never blocks on it).
+func (t *Ticket) Done() <-chan Response { return t.ch }
+
+// Wait blocks until the request completes and returns its Response.
+func (t *Ticket) Wait() Response { return <-t.ch }
+
+func failedTicket(id uint64, err error) *Ticket {
+	t := &Ticket{ID: id, ch: make(chan Response, 1)}
+	t.ch <- Response{ID: id, Err: err}
+	return t
+}
+
+// validate reports nil for a well-formed request.
+func (r *Request) validate() error {
+	switch {
+	case len(r.Prompt) == 0:
+		return ErrBadRequest
+	case r.MaxNewTokens <= 0:
+		return ErrBadRequest
+	case r.SharedPrefixLen < 0 || r.SharedPrefixLen >= len(r.Prompt):
+		return ErrBadRequest
+	}
+	return nil
+}
+
+// kvCost is the admission-control estimate of a request's worst-case device
+// residency in per-head token slots. A budgeted selector keeps at most
+// Budget tokens per head resident; an unbudgeted request keeps its whole
+// sequence. When the shared prefix is served from the cache its residency is
+// accounted once, on the cache entry, so only the marginal tail is charged.
+func kvCost(r *Request, prefixShared bool) int64 {
+	l := len(r.Prompt) + r.MaxNewTokens + 1 // +1: re-fed last prompt token
+	if r.Budget > 0 && r.Budget < l {
+		return int64(r.Budget)
+	}
+	if prefixShared {
+		l -= r.SharedPrefixLen
+	}
+	return int64(l)
+}
+
+// prefixKey content-addresses a shared prefix with FNV-1a over its tokens.
+// Hits verify the actual tokens, so a collision can never alias prefills.
+func prefixKey(tokens []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, t := range tokens {
+		h ^= uint64(t)
+		h *= prime64
+	}
+	return h
+}
+
+// tokensInRange reports whether every prompt token is a valid vocabulary
+// index, so malformed prompts are rejected at intake instead of panicking a
+// decode worker mid-round.
+func tokensInRange(tokens []int, vocab int) bool {
+	for _, t := range tokens {
+		if t < 0 || t >= vocab {
+			return false
+		}
+	}
+	return true
+}
+
+func sameTokens(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
