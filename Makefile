@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench serve clean
+.PHONY: build test test-seq vet race bench serve clean
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,11 @@ vet:
 # race detector.
 test: vet
 	$(GO) test -race ./...
+
+# Serial-schedule lane: the whole suite at GOMAXPROCS=1, locking the
+# determinism contract's width-independent outputs (DESIGN.md §6).
+test-seq:
+	GOMAXPROCS=1 $(GO) test ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -33,6 +33,7 @@ import (
 	"clusterkv/internal/memsim"
 	"clusterkv/internal/metrics"
 	"clusterkv/internal/model"
+	"clusterkv/internal/parallel"
 	"clusterkv/internal/serve"
 	"clusterkv/internal/workload"
 )
@@ -170,6 +171,26 @@ func NewEngine(m *Model, cfg EngineConfig) *Engine { return serve.NewEngine(m, c
 
 // DefaultEngineConfig returns the default serving configuration.
 func DefaultEngineConfig() EngineConfig { return serve.DefaultConfig() }
+
+// ---- Intra-op parallelism ---------------------------------------------------
+
+// WorkerPool is the shared intra-op worker pool behind the blocked matrix
+// kernels, the parallel prefill, K-means and cluster scoring. Results are
+// bit-identical to serial at any pool width (see internal/parallel).
+type WorkerPool = parallel.Pool
+
+// NewWorkerPool builds a pool with up to width concurrent executors.
+func NewWorkerPool(width int) *WorkerPool { return parallel.NewPool(width) }
+
+// IntraOpPool returns the process-wide pool all kernels draw from
+// (GOMAXPROCS-sized at startup).
+func IntraOpPool() *WorkerPool { return parallel.Default() }
+
+// SetIntraOpWorkers resizes the process-wide intra-op pool. Outputs are
+// unaffected — only throughput changes. Safe at any time: kernels already
+// in flight on the old pool finish correctly and new ones use the new
+// width.
+func SetIntraOpWorkers(width int) { parallel.SetDefaultWidth(width) }
 
 // QARequest is one request of a synthetic serving load (shared-document QA).
 type QARequest = workload.QARequest

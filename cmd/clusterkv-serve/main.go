@@ -53,7 +53,8 @@ func methods(which string) []methodSpec {
 func main() {
 	var (
 		streams   = flag.Int("streams", 8, "concurrent decode streams (continuous-batching batch size)")
-		workers   = flag.Int("workers", 0, "decode worker goroutines (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "per-round decode step fan-out (0 = GOMAXPROCS); steps run on the shared intra-op pool, so effective concurrency is min(workers, intraop)")
+		intraOp   = flag.Int("intraop", 0, "shared worker pool width for kernels AND step fan-out (0 = GOMAXPROCS); outputs are width-independent, -intraop 1 serializes everything")
 		requests  = flag.Int("requests", 16, "total requests in the load")
 		docs      = flag.Int("docs", 2, "shared documents tenants ask about")
 		docLen    = flag.Int("doclen", 1024, "document length (tokens)")
@@ -69,6 +70,10 @@ func main() {
 		verifyOut = flag.Bool("verify", true, "check engine outputs match serial decode token-for-token")
 	)
 	flag.Parse()
+
+	if *intraOp > 0 {
+		clusterkv.SetIntraOpWorkers(*intraOp)
+	}
 
 	lc := clusterkv.DefaultLoadConfig()
 	lc.Doc.Seed = *seed
@@ -88,8 +93,8 @@ func main() {
 	} else {
 		fmt.Printf("arrivals: closed loop (all requests queued up front)\n")
 	}
-	fmt.Printf("engine: %d streams, %d workers, prefix cache %v, global KV budget %v\n\n",
-		*streams, effWorkers(*workers), !*noPrefix, budgetStr(*kvBudget))
+	fmt.Printf("engine: %d streams, %d workers, intra-op pool %d, prefix cache %v, global KV budget %v\n\n",
+		*streams, effWorkers(*workers), clusterkv.IntraOpPool().Width(), !*noPrefix, budgetStr(*kvBudget))
 
 	type row struct {
 		name                   string

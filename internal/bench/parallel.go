@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"clusterkv/internal/model"
+	"clusterkv/internal/parallel"
+	"clusterkv/internal/workload"
+)
+
+// RunParPrefill measures intra-op parallel prefill throughput: the same
+// ModelCtx-token prompt is prefilled at worker-pool widths {1, 2, 4, 8}
+// (capped at 2×NumCPU so the table reflects real hardware), reporting
+// tokens/sec and speedup over the single-worker run, and verifying the
+// determinism contract on the fly — the per-position logits of every width
+// must be bit-identical to the serial ones.
+func RunParPrefill(o Options) *Report {
+	o = o.withDefaults()
+	n := o.ModelCtx
+	m := model.New(model.DefaultConfig())
+	cfg := m.Config()
+	dc := workload.DefaultDocConfig()
+	dc.Seed = o.Seed
+	prompt := workload.Doc(dc, n)
+
+	widths := []int{1, 2, 4, 8}
+	maxW := 2 * runtime.NumCPU()
+	logitsAt := func(width int) ([]float32, float64) {
+		pool := parallel.NewPool(width)
+		old := parallel.SetDefault(pool)
+		defer func() {
+			parallel.SetDefault(old)
+			pool.Close()
+		}()
+		logits := make([]float32, n*cfg.VocabSize)
+		start := time.Now()
+		seq := m.NewSequence(nil, 0)
+		seq.Prefill(prompt, logits)
+		elapsed := time.Since(start).Seconds()
+		return logits, float64(n) / elapsed
+	}
+
+	rep := &Report{
+		ID:      "parprefill",
+		Title:   fmt.Sprintf("intra-op parallel prefill, %d-token prompt", n),
+		Headers: []string{"workers", "tok/s", "speedup", "bit-identical"},
+	}
+	var serial []float32
+	var serialRate float64
+	for _, w := range widths {
+		if w > maxW && w != 1 {
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("width %d skipped: only %d CPUs visible", w, runtime.NumCPU()))
+			continue
+		}
+		logits, rate := logitsAt(w)
+		if w == 1 {
+			serial, serialRate = logits, rate
+			rep.Rows = append(rep.Rows, []string{"1", f1(rate), "1.00", "ref"})
+			continue
+		}
+		identical := "yes"
+		for i := range logits {
+			if math.Float32bits(logits[i]) != math.Float32bits(serial[i]) {
+				identical = fmt.Sprintf("NO (elem %d)", i)
+				break
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", w), f1(rate), f2(rate / serialRate), identical,
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d; speedups need free cores — determinism holds regardless",
+			runtime.GOMAXPROCS(0), runtime.NumCPU()))
+	return rep
+}

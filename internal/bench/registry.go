@@ -27,6 +27,9 @@ func Registry() map[string]Runner {
 			return []*Report{RunOverlap(o)}
 		},
 		"ablations": func(o Options) []*Report { return RunAblations(o) },
+		"parprefill": func(o Options) []*Report {
+			return []*Report{RunParPrefill(o)}
+		},
 	}
 }
 
@@ -35,6 +38,6 @@ func RegistryOrder() []string {
 	return []string{
 		"fig3a", "fig3b", "fig9", "tab1", "fig10",
 		"fig11a", "fig11b", "fig12", "fig13a", "fig13b",
-		"cache", "overlap", "ablations",
+		"cache", "overlap", "ablations", "parprefill",
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"clusterkv/internal/parallel"
 	"clusterkv/internal/tensor"
 )
 
@@ -90,11 +91,16 @@ func (b *Book) AddBatch(res *Result) {
 // is measured with inner product, as it better aligns with attention weight
 // computation"). dst must have length NumClusters(). Returns the number of
 // score-dimension ops performed (C·d).
+//
+// Scoring is cluster-parallel on the shared intra-op pool: every dst[j] is
+// an independent dot product, so results are bit-identical at any width.
 func (b *Book) ScoreClusters(dst, q []float32) int64 {
 	c := b.NumClusters()
-	for j := 0; j < c; j++ {
-		dst[j] = tensor.Dot(q, b.Centroid(j))
-	}
+	parallel.Default().For(c, parallel.Grain(b.d), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = tensor.Dot(q, b.Centroid(j))
+		}
+	})
 	return int64(c) * int64(b.d)
 }
 

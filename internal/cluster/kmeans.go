@@ -12,7 +12,9 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"clusterkv/internal/parallel"
 	"clusterkv/internal/rng"
 	"clusterkv/internal/tensor"
 )
@@ -139,15 +141,27 @@ func KMeans(keys []float32, d, c int, cfg Config) *Result {
 	}
 	sizes := make([]int, c)
 
+	pool := parallel.Default()
+	// Shared fan-out policy: an assignment index costs c·d ops, a norm d.
+	assignGrain := parallel.Grain(c * d)
+
 	// Pre-normalised views for cosine assignment.
 	var keyNorms []float32
 	if cfg.Metric == Cosine {
 		keyNorms = make([]float32, n)
-		for i := 0; i < n; i++ {
-			keyNorms[i] = tensor.Norm(key(i))
-		}
+		pool.For(n, parallel.Grain(d), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				keyNorms[i] = tensor.Norm(key(i))
+			}
+		})
 	}
 	centNorm := make([]float32, c)
+
+	// Scratch for the deterministic parallel update step: members of each
+	// cluster in ascending key order (rebuilt per iteration).
+	sortedIdx := make([]int, n)
+	prefix := make([]int, c+1)
+	cursor := make([]int, c)
 
 	var assignOps int64
 	iters := 0
@@ -158,48 +172,60 @@ func KMeans(keys []float32, d, c int, cfg Config) *Result {
 				centNorm[j] = tensor.Norm(cents.Row(j))
 			}
 		}
-		changed := 0
+		// Assignment, key-parallel: each labels[i] is an independent argbest
+		// over read-only centroids, so any split is bit-identical to serial.
+		// The changed counter is an integer (exact, order-free) accumulated
+		// once per block — no atomics ever touch float data.
+		var changed atomic.Int64
+		pool.For(n, assignGrain, func(lo, hi int) {
+			blockChanged := 0
+			for i := lo; i < hi; i++ {
+				ki := key(i)
+				best, bestScore := 0, float32(math.Inf(-1))
+				switch cfg.Metric {
+				case Cosine:
+					kn := keyNorms[i]
+					for j := 0; j < c; j++ {
+						dot := tensor.Dot(ki, cents.Row(j))
+						den := kn * centNorm[j]
+						var s float32
+						if den > 0 {
+							s = dot / den
+						}
+						if s > bestScore {
+							bestScore, best = s, j
+						}
+					}
+				case L2:
+					bestScore = float32(math.Inf(1))
+					for j := 0; j < c; j++ {
+						s := tensor.SqDist(ki, cents.Row(j))
+						if s < bestScore {
+							bestScore, best = s, j
+						}
+					}
+				case InnerProduct:
+					for j := 0; j < c; j++ {
+						s := tensor.Dot(ki, cents.Row(j))
+						if s > bestScore {
+							bestScore, best = s, j
+						}
+					}
+				}
+				if labels[i] != best {
+					labels[i] = best
+					blockChanged++
+				}
+			}
+			if blockChanged > 0 {
+				changed.Add(int64(blockChanged))
+			}
+		})
 		for j := range sizes {
 			sizes[j] = 0
 		}
 		for i := 0; i < n; i++ {
-			ki := key(i)
-			best, bestScore := 0, float32(math.Inf(-1))
-			switch cfg.Metric {
-			case Cosine:
-				kn := keyNorms[i]
-				for j := 0; j < c; j++ {
-					dot := tensor.Dot(ki, cents.Row(j))
-					den := kn * centNorm[j]
-					var s float32
-					if den > 0 {
-						s = dot / den
-					}
-					if s > bestScore {
-						bestScore, best = s, j
-					}
-				}
-			case L2:
-				bestScore = float32(math.Inf(1))
-				for j := 0; j < c; j++ {
-					s := tensor.SqDist(ki, cents.Row(j))
-					if s < bestScore {
-						bestScore, best = s, j
-					}
-				}
-			case InnerProduct:
-				for j := 0; j < c; j++ {
-					s := tensor.Dot(ki, cents.Row(j))
-					if s > bestScore {
-						bestScore, best = s, j
-					}
-				}
-			}
-			if labels[i] != best {
-				labels[i] = best
-				changed++
-			}
-			sizes[best]++
+			sizes[labels[i]]++
 		}
 		assignOps += int64(n) * int64(c) * int64(d)
 
@@ -208,30 +234,56 @@ func KMeans(keys []float32, d, c int, cfg Config) *Result {
 		repairEmptyClusters(keys, d, cents, labels, sizes, cfg.Metric)
 
 		// Update step: centroid = mean of members (the custom-kernel step of
-		// paper §IV-B, here a straightforward accumulate-and-divide).
-		tensor.Fill(cents.Data, 0)
-		for i := 0; i < n; i++ {
-			tensor.Axpy(1, key(i), cents.Row(labels[i]))
-		}
-		for j := 0; j < c; j++ {
-			if sizes[j] > 0 {
-				tensor.Scale(1/float32(sizes[j]), cents.Row(j))
+		// paper §IV-B). Parallel over clusters: each centroid accumulates its
+		// members in ascending key order — the exact order of the serial
+		// accumulate-and-divide — so the update is bit-identical at any
+		// worker count. The member lists come from a serial counting sort.
+		sortByLabel(labels, sizes, prefix, cursor, sortedIdx)
+		pool.For(c, parallel.Grain(d*(n/c+1)), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				row := cents.Row(j)
+				tensor.Fill(row, 0)
+				for _, i := range sortedIdx[prefix[j]:prefix[j+1]] {
+					tensor.Axpy(1, key(i), row)
+				}
+				if sizes[j] > 0 {
+					tensor.Scale(1/float32(sizes[j]), row)
+				}
 			}
-		}
-		if changed == 0 {
+		})
+		if changed.Load() == 0 {
 			break
 		}
 	}
 
-	res := &Result{
-		Centroids: cents,
-		Labels:    labels,
-		Sizes:     sizes,
-		Iters:     iters,
-		AssignOps: assignOps,
+	// The last iteration's counting sort is computed from the final labels,
+	// so its outputs are exactly the Fig. 8 metadata — hand them off instead
+	// of re-deriving.
+	return &Result{
+		Centroids:     cents,
+		Labels:        labels,
+		Sizes:         sizes,
+		SortedIndices: sortedIdx,
+		PrefixSum:     prefix,
+		Iters:         iters,
+		AssignOps:     assignOps,
 	}
-	res.buildMetadata()
-	return res
+}
+
+// sortByLabel is the counting-sort construction of paper Fig. 8: prefix
+// (len c+1) receives the per-label prefix sums and out (len n) the indices
+// sorted by (label, index) — ascending i keeps members index-sorted.
+// cursor (len c) is scratch.
+func sortByLabel(labels, sizes, prefix, cursor, out []int) {
+	prefix[0] = 0
+	for j, sz := range sizes {
+		prefix[j+1] = prefix[j] + sz
+	}
+	copy(cursor, prefix[:len(sizes)])
+	for i, l := range labels {
+		out[cursor[l]] = i
+		cursor[l]++
+	}
 }
 
 // repairEmptyClusters reassigns, for each empty cluster, the member that is
@@ -270,23 +322,6 @@ func repairEmptyClusters(keys []float32, d int, cents *tensor.Mat, labels []int,
 		labels[worst] = j
 		sizes[j] = 1
 		copy(cents.Row(j), keys[worst*d:(worst+1)*d])
-	}
-}
-
-// buildMetadata derives SortedIndices and PrefixSum from Labels/Sizes —
-// the counting-sort construction of paper Fig. 8.
-func (r *Result) buildMetadata() {
-	c := len(r.Sizes)
-	r.PrefixSum = make([]int, c+1)
-	for j := 0; j < c; j++ {
-		r.PrefixSum[j+1] = r.PrefixSum[j] + r.Sizes[j]
-	}
-	r.SortedIndices = make([]int, len(r.Labels))
-	cursor := make([]int, c)
-	copy(cursor, r.PrefixSum[:c])
-	for i, l := range r.Labels { // ascending i keeps members index-sorted
-		r.SortedIndices[cursor[l]] = i
-		cursor[l]++
 	}
 }
 

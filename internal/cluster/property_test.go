@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"clusterkv/internal/parallel"
+	"clusterkv/internal/rng"
+	"clusterkv/internal/tensor"
+)
+
+// Property-based KMeans tests: random shapes and data, asserting structural
+// invariants always, assignment optimality at convergence, and bit-identical
+// results across worker-pool widths.
+
+// randKeys draws n×d keys with loose cluster structure plus outliers.
+func propKeys(r *rng.RNG, n, d int) []float32 {
+	keys := make([]float32, n*d)
+	for i := range keys {
+		keys[i] = r.NormFloat32()
+	}
+	// Pull half the keys toward a few anchor directions so clusters exist.
+	anchors := 1 + r.Intn(4)
+	for i := 0; i < n; i += 2 {
+		a := i % anchors
+		for j := 0; j < d; j++ {
+			keys[i*d+j] += float32(2 * (a + 1) * (j%2*2 - 1))
+		}
+	}
+	return keys
+}
+
+// score replicates the assignment scoring exactly (same tensor calls, same
+// den > 0 guard), so optimality checks compare identical float pipelines.
+func propScore(metric Metric, key, cent []float32) float32 {
+	switch metric {
+	case Cosine:
+		dot := tensor.Dot(key, cent)
+		den := tensor.Norm(key) * tensor.Norm(cent)
+		if den > 0 {
+			return dot / den
+		}
+		return 0
+	case L2:
+		return -tensor.SqDist(key, cent)
+	default:
+		return tensor.Dot(key, cent)
+	}
+}
+
+func checkPropInvariants(t *testing.T, res *Result, n, cReq int) {
+	t.Helper()
+	c := res.NumClusters()
+	if c < 1 || c > cReq {
+		t.Fatalf("NumClusters = %d, want in [1, %d]", c, cReq)
+	}
+	if len(res.Labels) != n {
+		t.Fatalf("len(Labels) = %d, want %d", len(res.Labels), n)
+	}
+	total := 0
+	for j, sz := range res.Sizes {
+		if sz < 0 {
+			t.Fatalf("cluster %d has negative size %d", j, sz)
+		}
+		total += sz
+		if res.PrefixSum[j+1]-res.PrefixSum[j] != sz {
+			t.Fatalf("PrefixSum inconsistent at cluster %d", j)
+		}
+	}
+	if total != n {
+		t.Fatalf("sizes sum to %d, want %d", total, n)
+	}
+	seen := make([]bool, n)
+	for j := 0; j < c; j++ {
+		members := res.Members(j)
+		for k, i := range members {
+			if i < 0 || i >= n {
+				t.Fatalf("cluster %d: member %d out of range", j, i)
+			}
+			if seen[i] {
+				t.Fatalf("key %d appears in two clusters", i)
+			}
+			seen[i] = true
+			if res.Labels[i] != j {
+				t.Fatalf("key %d in members of %d but labeled %d", i, j, res.Labels[i])
+			}
+			if k > 0 && members[k-1] >= i {
+				t.Fatalf("cluster %d members not ascending", j)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("key %d missing from all member lists", i)
+		}
+	}
+}
+
+// checkAssignmentOptimal asserts, for a converged run, that every key's
+// label achieves the best score among the returned centroids. Keys that sit
+// in a singleton cluster whose centroid is the key itself are exempt: the
+// empty-cluster repair deliberately plants the farthest key there.
+func checkAssignmentOptimal(t *testing.T, res *Result, keys []float32, d int, metric Metric) {
+	t.Helper()
+	n := len(res.Labels)
+	c := res.NumClusters()
+	for i := 0; i < n; i++ {
+		ki := keys[i*d : (i+1)*d]
+		l := res.Labels[i]
+		if res.Sizes[l] == 1 && bitsEq(ki, res.Centroids.Row(l)) {
+			continue // repair-planted singleton
+		}
+		mine := propScore(metric, ki, res.Centroids.Row(l))
+		for j := 0; j < c; j++ {
+			if s := propScore(metric, ki, res.Centroids.Row(j)); s > mine {
+				t.Fatalf("metric %v: key %d labeled %d (score %g) but cluster %d scores %g",
+					metric, i, l, mine, j, s)
+			}
+		}
+	}
+}
+
+func bitsEq(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKMeansProperties(t *testing.T) {
+	r := rng.New(1234)
+	metrics := []Metric{Cosine, L2, InnerProduct}
+	trials := 40
+	if testing.Short() {
+		trials = 12
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + r.Intn(200)
+		d := 1 + r.Intn(24)
+		cReq := 1 + r.Intn(12)
+		metric := metrics[trial%len(metrics)]
+		keys := propKeys(r, n, d)
+		cfg := Config{Metric: metric, Seed: uint64(trial), MaxIters: 64}
+		res := KMeans(keys, d, cReq, cfg)
+
+		checkPropInvariants(t, res, n, cReq)
+		if res.Iters < 64 { // converged: last pass changed no labels
+			checkAssignmentOptimal(t, res, keys, d, metric)
+		}
+		wantOps := int64(res.Iters) * int64(n) * int64(min(cReq, n)) * int64(d)
+		if res.AssignOps != wantOps {
+			t.Fatalf("AssignOps = %d, want iters·n·c·d = %d", res.AssignOps, wantOps)
+		}
+	}
+}
+
+// TestKMeansConformanceAcrossWidths locks the parallel assignment + update:
+// identical seeds must produce bit-identical clusterings at pool widths
+// {1, 2, 3, 8}, including n smaller than the width.
+func TestKMeansConformanceAcrossWidths(t *testing.T) {
+	r := rng.New(77)
+	run := func(width int, keys []float32, d, c int, cfg Config) *Result {
+		pool := parallel.NewPool(width)
+		old := parallel.SetDefault(pool)
+		defer func() {
+			parallel.SetDefault(old)
+			pool.Close()
+		}()
+		return KMeans(keys, d, c, cfg)
+	}
+	for _, metric := range []Metric{Cosine, L2, InnerProduct} {
+		for _, shape := range [][2]int{{2, 3}, {7, 4}, {50, 8}, {157, 16}} {
+			n, d := shape[0], shape[1]
+			keys := propKeys(r, n, d)
+			c := 1 + n/3
+			cfg := Config{Metric: metric, Seed: 5, MaxIters: 32}
+			want := run(1, keys, d, c, cfg)
+			for _, width := range []int{2, 3, 8} {
+				got := run(width, keys, d, c, cfg)
+				if got.Iters != want.Iters {
+					t.Fatalf("metric %v n=%d width=%d: iters %d vs %d", metric, n, width, got.Iters, want.Iters)
+				}
+				for i := range want.Labels {
+					if got.Labels[i] != want.Labels[i] {
+						t.Fatalf("metric %v n=%d width=%d: label %d differs", metric, n, width, i)
+					}
+				}
+				if !bitsEq(got.Centroids.Data, want.Centroids.Data) {
+					t.Fatalf("metric %v n=%d width=%d: centroid bits differ", metric, n, width)
+				}
+			}
+		}
+	}
+}

@@ -7,6 +7,12 @@
 // selects top clusters under the token budget with last-cluster trimming
 // (§III-C, §IV-C), and serves K/V through a cluster-granularity device cache
 // that retains the clusters selected during the last R decode steps (§IV-D).
+//
+// The compute-heavy stages — K-means assignment/update inside cluster.KMeans
+// and centroid scoring inside cluster.Book.ScoreClusters — run on the shared
+// intra-op pool (internal/parallel) with bit-identical-to-serial results, so
+// a selector behaves identically at any worker count; per-head selector
+// state itself is single-threaded (one sequence drives one selector).
 package core
 
 import (

@@ -7,6 +7,7 @@ import (
 
 	"clusterkv/internal/attention"
 	"clusterkv/internal/kvcache"
+	"clusterkv/internal/parallel"
 	"clusterkv/internal/tensor"
 )
 
@@ -179,11 +180,40 @@ func (s *Sequence) Len() int { return s.pos }
 // Selector returns the attached selection policy (may be nil).
 func (s *Sequence) Selector() attention.Selector { return s.sel }
 
+// prefillScratch is the per-executor scratch of the position-parallel
+// attention + FFN phase. Each parallel block allocates its own, so no float
+// buffer is ever shared between concurrent positions.
+type prefillScratch struct {
+	headOut []float32
+	attnOut []float32
+	normed  []float32
+	ffnGate []float32
+	ffnUp   []float32
+	scores  []float32
+}
+
+func newPrefillScratch(cfg Config) *prefillScratch {
+	return &prefillScratch{
+		headOut: make([]float32, cfg.HeadDim),
+		attnOut: make([]float32, cfg.NHeads*cfg.HeadDim),
+		normed:  make([]float32, cfg.DModel),
+		ffnGate: make([]float32, cfg.FFNDim),
+		ffnUp:   make([]float32, cfg.FFNDim),
+	}
+}
+
 // Prefill processes the whole prompt with full attention, layer by layer
 // (the standard parallel prefill), fills the KV caches, notifies the
 // selector, and returns the final hidden state of the last token.
 // If wantLogits is non-nil it must have length len(tokens)×VocabSize and
 // receives per-position next-token logits (teacher-forced evaluation).
+//
+// The O(L²) hot path is intra-op parallel on the shared parallel.Default
+// pool: per-position work (norms, rope, attention, FFN) fans out over
+// positions, and the QKV projections run as blocked GEMMs. Every parallel
+// split writes disjoint outputs with the serial per-element reduction order,
+// so outputs are bit-identical to a single-worker run at any pool width;
+// only the serial KV append preserves store order by construction.
 func (s *Sequence) Prefill(tokens []int, wantLogits []float32) []float32 {
 	cfg := s.m.cfg
 	w := s.m.w
@@ -194,56 +224,85 @@ func (s *Sequence) Prefill(tokens []int, wantLogits []float32) []float32 {
 	if wantLogits != nil && len(wantLogits) != n*cfg.VocabSize {
 		panic("model: Prefill logits buffer has wrong size")
 	}
+	pool := parallel.Default()
+	qdim := cfg.NHeads * cfg.HeadDim
+	kvdim := cfg.NKVHeads * cfg.HeadDim
+
+	// Grow the rope table up front so parallel workers only read it.
+	s.m.ropeAt(s.pos + n - 1)
 
 	// hidden[i] for all positions (row-major n×DModel).
 	hs := make([]float32, n*cfg.DModel)
-	for i, tok := range tokens {
-		copy(hs[i*cfg.DModel:(i+1)*cfg.DModel], w.embed.Row(tok))
-	}
+	pool.For(n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(hs[i*cfg.DModel:(i+1)*cfg.DModel], w.embed.Row(tokens[i]))
+		}
+	})
 
-	normed := make([]float32, cfg.DModel)
-	qall := make([]float32, n*cfg.NHeads*cfg.HeadDim)
-	headOut := make([]float32, cfg.HeadDim)
-	attnOut := make([]float32, cfg.NHeads*cfg.HeadDim)
+	normAll := tensor.NewMat(n, cfg.DModel)
+	qall := tensor.NewMat(n, qdim)
+	kall := tensor.NewMat(n, kvdim)
+	vall := tensor.NewMat(n, kvdim)
 
 	for l := 0; l < cfg.NLayers; l++ {
 		lw := &w.layers[l]
-		// QKV for all positions; K/V go straight into the stores.
-		for i := 0; i < n; i++ {
-			h := hs[i*cfg.DModel : (i+1)*cfg.DModel]
-			rmsNorm(normed, h, lw.attnNorm)
-			q := qall[i*cfg.NHeads*cfg.HeadDim : (i+1)*cfg.NHeads*cfg.HeadDim]
-			tensor.MatTVec(q, lw.wq, normed)
-			tensor.MatTVec(s.kbuf, lw.wk, normed)
-			tensor.MatTVec(s.vbuf, lw.wv, normed)
-			pos := s.pos + i
-			for hh := 0; hh < cfg.NHeads; hh++ {
-				qh := q[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
-				s.m.applyRope(qh, pos)
-				s.m.shapeQuery(qh)
+		// Pre-attention norms, row-parallel.
+		pool.For(n, 16, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				rmsNorm(normAll.Row(i), hs[i*cfg.DModel:(i+1)*cfg.DModel], lw.attnNorm)
 			}
+		})
+		// QKV for all positions as blocked GEMMs (row i of the product is
+		// exactly the per-position MatTVec of the serial path).
+		tensor.MatMulOn(pool, qall, normAll, lw.wq)
+		tensor.MatMulOn(pool, kall, normAll, lw.wk)
+		tensor.MatMulOn(pool, vall, normAll, lw.wv)
+		// Rotary embedding + sink shaping, row-parallel.
+		pool.For(n, 16, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pos := s.pos + i
+				q := qall.Row(i)
+				for hh := 0; hh < cfg.NHeads; hh++ {
+					qh := q[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
+					s.m.applyRope(qh, pos)
+					s.m.shapeQuery(qh)
+				}
+				k := kall.Row(i)
+				for kv := 0; kv < cfg.NKVHeads; kv++ {
+					kh := k[kv*cfg.HeadDim : (kv+1)*cfg.HeadDim]
+					s.m.applyRope(kh, pos)
+					s.m.shapeKey(kh, pos)
+				}
+			}
+		})
+		// KV append stays serial: store order is position order.
+		for i := 0; i < n; i++ {
+			k, v := kall.Row(i), vall.Row(i)
 			for kv := 0; kv < cfg.NKVHeads; kv++ {
-				kh := s.kbuf[kv*cfg.HeadDim : (kv+1)*cfg.HeadDim]
-				s.m.applyRope(kh, pos)
-				s.m.shapeKey(kh, pos)
-				vh := s.vbuf[kv*cfg.HeadDim : (kv+1)*cfg.HeadDim]
-				s.Store(l, kv).Append(kh, vh)
+				s.Store(l, kv).Append(
+					k[kv*cfg.HeadDim:(kv+1)*cfg.HeadDim],
+					v[kv*cfg.HeadDim:(kv+1)*cfg.HeadDim])
 			}
 		}
-		// Causal attention + FFN per position.
+		// Causal attention + FFN, position-parallel. Blocks are fine-grained
+		// (grain 4) so the dynamic scheduler balances the causal skew — late
+		// positions attend over longer prefixes than early ones.
 		group := cfg.GroupSize()
-		for i := 0; i < n; i++ {
-			h := hs[i*cfg.DModel : (i+1)*cfg.DModel]
-			q := qall[i*cfg.NHeads*cfg.HeadDim : (i+1)*cfg.NHeads*cfg.HeadDim]
-			for hh := 0; hh < cfg.NHeads; hh++ {
-				kv := hh / group
-				st := s.Store(l, kv)
-				s.scores = causalFull(headOut, q[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], st, s.pos+i+1, s.scores)
-				copy(attnOut[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], headOut)
+		pool.For(n, 4, func(lo, hi int) {
+			sc := newPrefillScratch(cfg)
+			for i := lo; i < hi; i++ {
+				h := hs[i*cfg.DModel : (i+1)*cfg.DModel]
+				q := qall.Row(i)
+				for hh := 0; hh < cfg.NHeads; hh++ {
+					kv := hh / group
+					st := s.Store(l, kv)
+					sc.scores = causalFull(sc.headOut, q[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], st, s.pos+i+1, sc.scores)
+					copy(sc.attnOut[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], sc.headOut)
+				}
+				addProjected(h, lw.wo, sc.attnOut, sc.normed)
+				ffnBlock(h, lw, sc.normed, sc.ffnGate, sc.ffnUp)
 			}
-			addProjected(h, lw.wo, attnOut, s.normed)
-			s.ffn(h, lw)
-		}
+		})
 	}
 	s.pos += n
 
@@ -257,11 +316,14 @@ func (s *Sequence) Prefill(tokens []int, wantLogits []float32) []float32 {
 	}
 
 	if wantLogits != nil {
-		for i := 0; i < n; i++ {
-			h := hs[i*cfg.DModel : (i+1)*cfg.DModel]
-			rmsNorm(s.normed, h, w.finalNorm)
-			tensor.MatVec(wantLogits[i*cfg.VocabSize:(i+1)*cfg.VocabSize], w.embed, s.normed)
-		}
+		pool.For(n, 1, func(lo, hi int) {
+			normed := make([]float32, cfg.DModel)
+			for i := lo; i < hi; i++ {
+				h := hs[i*cfg.DModel : (i+1)*cfg.DModel]
+				rmsNorm(normed, h, w.finalNorm)
+				tensor.MatVec(wantLogits[i*cfg.VocabSize:(i+1)*cfg.VocabSize], w.embed, normed)
+			}
+		})
 	}
 	last := make([]float32, cfg.DModel)
 	copy(last, hs[(n-1)*cfg.DModel:])
@@ -321,16 +383,23 @@ func addProjected(h []float32, wo *tensor.Mat, attnOut, scratch []float32) {
 	tensor.Add(h, h, scratch)
 }
 
-// ffn applies the SwiGLU block with residual connection to h in place.
+// ffn applies the SwiGLU block with residual connection to h in place,
+// using the sequence's decode scratch.
 func (s *Sequence) ffn(h []float32, lw *layerWeights) {
-	rmsNorm(s.normed, h, lw.ffnNorm)
-	tensor.MatTVec(s.ffnGate, lw.w1, s.normed)
-	tensor.MatTVec(s.ffnUp, lw.w3, s.normed)
-	for i := range s.ffnGate {
-		s.ffnGate[i] = silu(s.ffnGate[i]) * s.ffnUp[i]
+	ffnBlock(h, lw, s.normed, s.ffnGate, s.ffnUp)
+}
+
+// ffnBlock is the SwiGLU block over caller-provided scratch (normed: DModel,
+// gate/up: FFNDim), so parallel prefill positions can run it concurrently.
+func ffnBlock(h []float32, lw *layerWeights, normed, gate, up []float32) {
+	rmsNorm(normed, h, lw.ffnNorm)
+	tensor.MatTVec(gate, lw.w1, normed)
+	tensor.MatTVec(up, lw.w3, normed)
+	for i := range gate {
+		gate[i] = silu(gate[i]) * up[i]
 	}
-	tensor.MatTVec(s.normed, lw.w2, s.ffnGate)
-	tensor.Add(h, h, s.normed)
+	tensor.MatTVec(normed, lw.w2, gate)
+	tensor.Add(h, h, normed)
 }
 
 // Decode processes one token through the model using the sequence's

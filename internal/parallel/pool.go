@@ -1,0 +1,235 @@
+// Package parallel provides the shared intra-op worker pool behind every
+// data-parallel kernel in the repository: blocked matrix kernels in
+// internal/tensor, row/head-parallel prefill attention in internal/model,
+// K-means assignment in internal/cluster and the serve engine's per-round
+// step fan-out.
+//
+// Determinism contract: For splits [0, n) into blocks at *fixed* split
+// points computed only from (n, grain, pool width) — never from runtime
+// load — and every kernel built on it writes a disjoint output range per
+// index with the per-element arithmetic order unchanged from the serial
+// loop. Blocks are *assigned* to executors dynamically (an atomic next-block
+// counter, so skewed work such as causal attention load-balances), but
+// because outputs are disjoint and each element's reduction stays serial,
+// results are bit-identical to the serial path at any worker count,
+// including 1. No atomics ever touch float data.
+//
+// Oversubscription contract: one process-wide Default pool is sized to
+// GOMAXPROCS. Callers of For always participate in executing their own
+// blocks, and idle pool helpers join in; a nested For (a parallel kernel
+// invoked from inside a pool worker) finds no idle helpers and simply runs
+// inline, so total concurrency stays bounded by the pool width no matter
+// how many engine goroutines issue kernels at once.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// blocksPerWorker oversubscribes block count relative to pool width so the
+// dynamic block counter can load-balance skewed work (e.g. causal attention,
+// where late positions cost more than early ones). Split points stay a pure
+// function of (n, grain, width).
+const blocksPerWorker = 4
+
+// Pool is a fixed-width intra-op worker pool. The zero value is not usable;
+// use NewPool. A nil *Pool is valid and runs everything inline.
+type Pool struct {
+	width     int
+	jobs      chan *job
+	closeOnce sync.Once
+}
+
+// job is one For invocation: fixed block boundaries plus a dynamic
+// next-block cursor shared by the caller and any helpers that join.
+type job struct {
+	fn      func(lo, hi int)
+	n       int
+	nblocks int
+	next    atomic.Int64
+	wg      sync.WaitGroup
+	panicMu sync.Mutex
+	panicV  any
+}
+
+// NewPool returns a pool that runs For callbacks on up to width concurrent
+// executors (the caller plus width-1 persistent helper goroutines).
+// width <= 1 yields a fully inline pool with no goroutines. A For that
+// overlaps or follows Close still completes correctly — the caller executes
+// any blocks the retiring helpers don't.
+func NewPool(width int) *Pool {
+	if width < 1 {
+		width = 1
+	}
+	p := &Pool{width: width}
+	if width > 1 {
+		p.jobs = make(chan *job, width)
+		for i := 0; i < width-1; i++ {
+			go func(jobs <-chan *job) {
+				for {
+					j := <-jobs
+					if j == nil {
+						return // Close sentinel
+					}
+					j.runBlocks()
+				}
+			}(p.jobs)
+		}
+	}
+	return p
+}
+
+// Width returns the pool's maximum concurrency (>= 1).
+func (p *Pool) Width() int {
+	if p == nil {
+		return 1
+	}
+	return p.width
+}
+
+// Close releases the helper goroutines by sending them exit sentinels; the
+// jobs channel itself is never closed, so a For racing Close (or issued
+// after it) can still offer jobs safely — it simply gets no helpers and the
+// caller runs every block inline. Closing a width-1 or nil pool is a no-op;
+// Close is idempotent.
+func (p *Pool) Close() {
+	if p == nil || p.jobs == nil {
+		return
+	}
+	p.closeOnce.Do(func() {
+		for i := 0; i < p.width-1; i++ {
+			p.jobs <- nil
+		}
+	})
+}
+
+// For runs fn over the half-open blocks of a fixed partition of [0, n) and
+// returns when every block has finished. grain is the minimum indices per
+// block (grain < 1 is treated as 1): blocks never get smaller than grain, so
+// cheap loops stay inline instead of paying fan-out overhead. fn may be
+// invoked concurrently from multiple goroutines, each call on a disjoint
+// [lo, hi) range; together the ranges tile [0, n) exactly. A panic in fn is
+// re-raised on the caller's goroutine after all blocks settle.
+func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	nb := n / grain // floor: every even-split block then holds >= grain indices
+	if nb < 1 {
+		nb = 1
+	}
+	if max := p.Width() * blocksPerWorker; nb > max {
+		nb = max
+	}
+	if p == nil || p.width <= 1 || nb <= 1 {
+		fn(0, n)
+		return
+	}
+	j := &job{fn: fn, n: n, nblocks: nb}
+	j.wg.Add(nb)
+	// Offer the job to up to nb-1 idle helpers without blocking: a helper
+	// that is busy (or a nested For from inside a helper) just means fewer
+	// hands, never a stall — the caller executes blocks regardless.
+offer:
+	for i := 0; i < nb-1; i++ {
+		select {
+		case p.jobs <- j:
+		default:
+			break offer // no idle helper; the caller picks up the slack
+		}
+	}
+	j.runBlocks()
+	j.wg.Wait()
+	if j.panicV != nil {
+		panic(j.panicV)
+	}
+}
+
+// runBlocks claims blocks off the job until none remain.
+func (j *job) runBlocks() {
+	for {
+		b := int(j.next.Add(1)) - 1
+		if b >= j.nblocks {
+			return
+		}
+		j.runOne(b)
+	}
+}
+
+// runOne executes block b, recording a panic's raw value so the pool's
+// helper goroutines never crash the process; For re-raises it on the
+// caller, preserving the value so failure behavior is identical to the
+// inline (single-block) path at any pool width.
+func (j *job) runOne(b int) {
+	defer j.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicMu.Lock()
+			if j.panicV == nil {
+				j.panicV = r
+			}
+			j.panicMu.Unlock()
+		}
+	}()
+	lo := b * j.n / j.nblocks
+	hi := (b + 1) * j.n / j.nblocks
+	if lo < hi {
+		j.fn(lo, hi)
+	}
+}
+
+// defaultPool is the process-wide intra-op pool, sized to GOMAXPROCS at
+// startup and replaceable via SetDefault (tests, CLI --intraop flags).
+var defaultPool atomic.Pointer[Pool]
+
+func init() {
+	defaultPool.Store(NewPool(runtime.GOMAXPROCS(0)))
+}
+
+// Default returns the process-wide pool shared by all intra-op kernels.
+func Default() *Pool { return defaultPool.Load() }
+
+// grainBlockOps is the target inner-loop operation count per parallel
+// block: below it, fan-out overhead (job allocation, channel offers, the
+// barrier) is not worth paying.
+const grainBlockOps = 8192
+
+// Grain converts a kernel's per-index cost into the For grain that keeps
+// every block at or above the target operation budget, so all kernels
+// share one fan-out policy. Deterministic — depends only on the cost.
+func Grain(perIndexOps int) int {
+	if perIndexOps <= 0 {
+		return grainBlockOps
+	}
+	g := grainBlockOps / perIndexOps
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// SetDefault installs p as the process-wide pool and returns the previous
+// one. Swapping while kernels are in flight is safe — in-flight For calls
+// keep the pool they loaded, and Close never invalidates a pool for
+// callers (it only retires helpers), so the old pool may be Closed at any
+// time.
+func SetDefault(p *Pool) *Pool {
+	if p == nil {
+		p = NewPool(1)
+	}
+	return defaultPool.Swap(p)
+}
+
+// SetDefaultWidth resizes the process-wide pool to width executors, closing
+// the pool it replaces. In-flight kernels on the old pool finish correctly
+// (at worst caller-only once its helpers retire); new kernels pick up the
+// new pool.
+func SetDefaultWidth(width int) {
+	old := SetDefault(NewPool(width))
+	old.Close()
+}

@@ -1,0 +1,205 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForTilesRange asserts that For covers [0, n) exactly once for a grid
+// of sizes, grains and widths, including n < width and n smaller than one
+// grain.
+func TestForTilesRange(t *testing.T) {
+	for _, width := range []int{1, 2, 3, 8} {
+		p := NewPool(width)
+		for _, n := range []int{0, 1, 2, 3, 7, 8, 64, 1000} {
+			for _, grain := range []int{0, 1, 3, 64, 1 << 20} {
+				var mu sync.Mutex
+				counts := make([]int, n)
+				p.For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("width=%d n=%d grain=%d: bad block [%d,%d)", width, n, grain, lo, hi)
+						return
+					}
+					mu.Lock()
+					for i := lo; i < hi; i++ {
+						counts[i]++
+					}
+					mu.Unlock()
+				})
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("width=%d n=%d grain=%d: index %d ran %d times", width, n, grain, i, c)
+					}
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestForSplitPointsFixed asserts that block boundaries are a pure function
+// of (n, grain, width): two invocations observe the identical block set.
+func TestForSplitPointsFixed(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	observe := func() map[[2]int]bool {
+		var mu sync.Mutex
+		blocks := map[[2]int]bool{}
+		p.For(1000, 1, func(lo, hi int) {
+			mu.Lock()
+			blocks[[2]int{lo, hi}] = true
+			mu.Unlock()
+		})
+		return blocks
+	}
+	a, b := observe(), observe()
+	if len(a) != len(b) {
+		t.Fatalf("block count differs across runs: %d vs %d", len(a), len(b))
+	}
+	for blk := range a {
+		if !b[blk] {
+			t.Fatalf("block %v present in run 1, absent in run 2", blk)
+		}
+	}
+}
+
+// TestNestedFor asserts a For issued from inside a For block completes and
+// covers its range (inline when no helpers are idle — never deadlocks).
+func TestNestedFor(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	p.For(8, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.For(100, 1, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if got := total.Load(); got != 800 {
+		t.Fatalf("nested For covered %d indices, want 800", got)
+	}
+}
+
+// TestForPanicPropagates asserts a panic inside a block is re-raised on the
+// caller after all blocks settle, and the pool stays usable.
+func TestForPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for round := 0; round < 3; round++ {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("panic did not propagate")
+				}
+				// The raw panic value must survive, exactly as on the
+				// inline path, so recover-and-match callers behave the
+				// same at every width.
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("unexpected panic value: %v", r)
+				}
+			}()
+			p.For(100, 1, func(lo, hi int) {
+				if lo == 0 {
+					panic("boom")
+				}
+			})
+		}()
+		// Pool must still work after the panic.
+		var ran atomic.Int64
+		p.For(10, 1, func(lo, hi int) { ran.Add(int64(hi - lo)) })
+		if ran.Load() != 10 {
+			t.Fatal("pool unusable after recovered panic")
+		}
+	}
+}
+
+// TestConcurrentFor hammers one pool from many goroutines (the serving
+// pattern: concurrent prefills sharing the intra-op pool). Run with -race.
+func TestConcurrentFor(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	iters := 200
+	if testing.Short() {
+		iters = 50
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]int, 512)
+			for it := 0; it < iters; it++ {
+				p.For(len(out), 7, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						out[i] = g*1000 + i
+					}
+				})
+				for i := range out {
+					if out[i] != g*1000+i {
+						t.Errorf("goroutine %d: index %d corrupted", g, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestNilAndWidthOnePool asserts the degenerate pools run inline.
+func TestNilAndWidthOnePool(t *testing.T) {
+	var nilPool *Pool
+	sum := 0
+	nilPool.For(10, 1, func(lo, hi int) { sum += hi - lo }) // no mutex: must be inline
+	if sum != 10 {
+		t.Fatalf("nil pool covered %d, want 10", sum)
+	}
+	if nilPool.Width() != 1 {
+		t.Fatalf("nil pool width = %d, want 1", nilPool.Width())
+	}
+	p := NewPool(0)
+	defer p.Close()
+	if p.Width() != 1 {
+		t.Fatalf("NewPool(0) width = %d, want 1", p.Width())
+	}
+	sum = 0
+	p.For(10, 1, func(lo, hi int) { sum += hi - lo })
+	if sum != 10 {
+		t.Fatalf("width-1 pool covered %d, want 10", sum)
+	}
+}
+
+// TestForAfterClose asserts a For racing or following Close completes
+// caller-side instead of panicking (the SetDefaultWidth resize path: an
+// engine mid-round may hold a pool another goroutine just retired).
+func TestForAfterClose(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	p.Close() // idempotent
+	var ran atomic.Int64
+	for i := 0; i < 3; i++ {
+		p.For(100, 1, func(lo, hi int) { ran.Add(int64(hi - lo)) })
+	}
+	if ran.Load() != 300 {
+		t.Fatalf("For after Close covered %d indices, want 300", ran.Load())
+	}
+}
+
+// TestSetDefault asserts the default-pool swap returns the previous pool.
+func TestSetDefault(t *testing.T) {
+	orig := Default()
+	p := NewPool(2)
+	if got := SetDefault(p); got != orig {
+		t.Fatal("SetDefault did not return the previous default")
+	}
+	if Default() != p {
+		t.Fatal("Default() is not the installed pool")
+	}
+	if got := SetDefault(orig); got != p {
+		t.Fatal("second SetDefault did not return the test pool")
+	}
+	p.Close()
+}

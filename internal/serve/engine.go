@@ -11,13 +11,19 @@ import (
 	"clusterkv/internal/attention"
 	"clusterkv/internal/kvcache"
 	"clusterkv/internal/model"
+	"clusterkv/internal/parallel"
 	"clusterkv/internal/rng"
 )
 
 // Config holds the engine tunables.
 type Config struct {
-	// Workers is the size of the decode worker pool. Values <= 1 run every
-	// step inline on the scheduler goroutine (fully sequential rounds).
+	// Workers caps the per-round step fan-out. Values <= 1 run every step
+	// inline on the scheduler goroutine (fully sequential rounds); larger
+	// values fan the round's steps out onto the process-wide parallel pool
+	// (parallel.Default), which the intra-op kernels of every prefill and
+	// decode also draw from. One GOMAXPROCS-sized pool therefore bounds
+	// total CPU concurrency — concurrent prefills share workers instead of
+	// oversubscribing the machine with per-engine goroutines.
 	// DefaultConfig uses GOMAXPROCS.
 	Workers int
 	// MaxBatch caps the number of concurrently decoding sequences (the
@@ -55,7 +61,6 @@ type Engine struct {
 	acct *kvcache.Accountant
 
 	intake chan []*task
-	jobs   chan func()
 
 	submitMu sync.Mutex
 	closed   bool
@@ -122,16 +127,6 @@ func NewEngine(m *model.Model, cfg Config) *Engine {
 		acct:   kvcache.NewAccountant(cfg.KVBudget),
 		intake: make(chan []*task, cfg.QueueCap),
 		done:   make(chan struct{}),
-	}
-	if cfg.Workers > 1 {
-		e.jobs = make(chan func(), cfg.Workers)
-		for i := 0; i < cfg.Workers; i++ {
-			go func() {
-				for job := range e.jobs {
-					job()
-				}
-			}()
-		}
 	}
 	go e.loop()
 	return e
@@ -257,9 +252,6 @@ func (e *Engine) closeIntake() {
 // retires finished streams so the next round can admit replacements.
 func (e *Engine) loop() {
 	defer close(e.done)
-	if e.jobs != nil {
-		defer close(e.jobs) // release the worker pool on exit
-	}
 	var (
 		pending  []*task
 		active   []*task
@@ -477,25 +469,33 @@ func (e *Engine) evictIdlePrefix(prefixes map[uint64]*prefixEntry) bool {
 	return true
 }
 
-// runRound executes one step for every active task: inline when the worker
-// pool is disabled, otherwise fanned out and barriered.
+// runRound executes one step for every active task: inline when Workers <= 1,
+// otherwise fanned out onto the shared parallel pool and barriered. Steps are
+// independent (each task owns its sequence), so execution order within a
+// round never affects tokens — rounds stay deterministic at any fan-out, and
+// a step's own intra-op kernels (prefill GEMMs, attention) draw from the same
+// pool instead of fighting a second scheduler for cores.
 func (e *Engine) runRound(active []*task) {
-	if e.jobs == nil {
+	if e.cfg.Workers <= 1 {
 		for _, t := range active {
 			e.step(t)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(active))
-	for _, t := range active {
-		t := t
-		e.jobs <- func() {
-			defer wg.Done()
-			e.step(t)
-		}
+	// Floor-grain yields between Workers and 2×Workers-1 blocks, so the
+	// pool's dynamic block counter can rebalance a heavy prefill step away
+	// from the decodes sharing its block; actual concurrency is further
+	// bounded by the shared pool width. e.step recovers panics itself, so
+	// fn never panics into the pool.
+	grain := len(active) / e.cfg.Workers
+	if grain < 1 {
+		grain = 1
 	}
-	wg.Wait()
+	parallel.Default().For(len(active), grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.step(active[i])
+		}
+	})
 }
 
 // step advances one task by one unit of work: its prefill plus first token

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"clusterkv/internal/parallel"
+	"clusterkv/internal/rng"
+)
+
+// Stress test for the engine over the shared intra-op worker pool:
+// randomized concurrent admissions (valid, invalid and oversized requests,
+// mixed tenants, shared and unshared prefixes) racing graceful Close and
+// deadline Shutdown. Its job is to catch the class of concurrency bug fixed
+// ad hoc in PR 1 (the rope-table growth race) structurally: run it under
+// `go test -race`, where any unsynchronized access in the engine ↔ pool ↔
+// model sandwich trips the detector. Short mode caps the iteration count.
+func TestEngineStressRandomizedLifecycles(t *testing.T) {
+	lifecycles := 12
+	submittersPer := 4
+	reqsPerSubmitter := 6
+	if testing.Short() {
+		lifecycles = 4
+	}
+
+	// Oversubscribed pool: more helpers than cores forces real interleaving
+	// of intra-op blocks even on single-core CI machines.
+	pool := parallel.NewPool(runtime.NumCPU() * 4)
+	oldPool := parallel.SetDefault(pool)
+	defer func() {
+		parallel.SetDefault(oldPool)
+		pool.Close()
+	}()
+
+	m := testModel()
+	vocab := m.Config().VocabSize
+
+	for lc := 0; lc < lifecycles; lc++ {
+		r := rng.New(uint64(1000 + lc))
+		eng := NewEngine(m, Config{
+			Workers:  2 + int(r.Intn(4)),
+			MaxBatch: 1 + int(r.Intn(4)),
+			KVBudget: int64(256 + r.Intn(2048)),
+			QueueCap: 4,
+			Seed:     uint64(lc),
+		})
+
+		var wg sync.WaitGroup
+		for s := 0; s < submittersPer; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sr := rng.New(uint64(lc*100 + s))
+				for i := 0; i < reqsPerSubmitter; i++ {
+					req := randomRequest(sr, vocab)
+					tk := eng.Submit(req)
+					if sr.Intn(2) == 0 {
+						tk.Wait() // closed-loop half: waits interleave with intake
+					}
+				}
+			}(s)
+		}
+
+		// Randomize the teardown path: graceful drain, generous deadline, or
+		// an aggressive deadline that aborts mid-flight.
+		switch r.Intn(3) {
+		case 0:
+			wg.Wait()
+			eng.Close()
+		case 1:
+			wg.Wait()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = eng.Shutdown(ctx)
+			cancel()
+		default:
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(r.Intn(5_000_000)))
+			_ = eng.Shutdown(ctx) // may abort mid-flight
+			cancel()
+			wg.Wait() // submitters observe aborted/closed tickets; must not hang
+		}
+
+		mx := eng.Metrics()
+		if mx.Completed+mx.Failed > mx.Submitted {
+			t.Fatalf("lifecycle %d: %d completed + %d failed > %d submitted",
+				lc, mx.Completed, mx.Failed, mx.Submitted)
+		}
+		if used := eng.Accountant().Used(); used != 0 {
+			t.Fatalf("lifecycle %d: %d KV slots leaked after shutdown", lc, used)
+		}
+	}
+}
+
+// randomRequest draws a request mixing valid prompts, shared prefixes,
+// full-attention and ClusterKV tenants, and occasional invalid or oversized
+// shapes (which must fail cleanly without wedging the scheduler).
+func randomRequest(r *rng.RNG, vocab int) Request {
+	n := 4 + int(r.Intn(96))
+	prompt := make([]int, n)
+	for i := range prompt {
+		prompt[i] = int(r.Intn(vocab))
+	}
+	req := Request{
+		Prompt:       prompt,
+		MaxNewTokens: 1 + int(r.Intn(4)),
+	}
+	if pl := 16; n > pl && r.Intn(3) == 0 {
+		// Content-identical shared prefix across submitters exercises the
+		// builder/waiter handoff in the prefix cache.
+		fixed := rng.New(4242)
+		for i := 0; i < pl; i++ {
+			prompt[i] = int(fixed.Intn(vocab))
+		}
+		req.SharedPrefixLen = pl
+	}
+	switch r.Intn(4) {
+	case 0:
+		req.NewSelector = clusterSel
+		req.Budget = 32
+	case 1:
+		req.Temperature = 0.7
+	case 2:
+		// Invalid on purpose: empty generation budget.
+		req.MaxNewTokens = 0
+	}
+	if r.Intn(8) == 0 {
+		// Oversized relative to the smallest KVBudget the loop picks.
+		req.Prompt = append(req.Prompt, make([]int, 4096)...)
+	}
+	return req
+}

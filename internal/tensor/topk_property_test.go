@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"sort"
+	"testing"
+
+	"clusterkv/internal/rng"
+)
+
+// oracleTopK is the sort-based reference: indices ordered by descending
+// value, ties broken by ascending index, truncated to k.
+func oracleTopK(x []float32, k int) []int {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if x[idx[a]] != x[idx[b]] {
+			return x[idx[a]] > x[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k < 0 {
+		k = 0
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// TestTopKMatchesOracle is the property test: on random inputs — including
+// heavy ties from a tiny value alphabet — TopK must equal the sort oracle
+// exactly, for every k from degenerate to beyond-length.
+func TestTopKMatchesOracle(t *testing.T) {
+	r := rng.New(2024)
+	trials := 300
+	if testing.Short() {
+		trials = 60
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := r.Intn(64)
+		x := make([]float32, n)
+		distinct := 1 + r.Intn(6) // few distinct values => many ties
+		for i := range x {
+			x[i] = float32(r.Intn(distinct)) / 2
+			if r.Intn(5) == 0 {
+				x[i] = -x[i]
+			}
+		}
+		ks := []int{0, -1, 1, n / 2, n - 1, n, n + 3}
+		for _, k := range ks {
+			got := TopK(x, k)
+			want := oracleTopK(x, k)
+			if got == nil {
+				t.Fatalf("trial %d: TopK returned nil for k=%d", trial, k)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d n=%d k=%d: len %d, oracle %d", trial, n, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d n=%d k=%d: position %d is index %d (val %g), oracle %d (val %g)\nx=%v",
+						trial, n, k, i, got[i], x[got[i]], want[i], x[want[i]], x)
+				}
+			}
+		}
+	}
+}
