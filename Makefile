@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-seq vet race bench serve clean
+.PHONY: build test test-seq vet race bench bench-smoke serve clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ test-seq:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Benchmark smoke lane: compile and run every benchmark in the module once,
+# so perf-critical paths (serve engine, paged arena, parallel kernels) cannot
+# silently rot into compile errors or panics. Not a measurement run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 serve:
 	$(GO) run ./cmd/clusterkv-serve

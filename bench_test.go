@@ -251,6 +251,37 @@ func BenchmarkServeSerialBaseline(b *testing.B) {
 	}
 }
 
+// BenchmarkForkDivergence measures the paged prefix-sharing fast path: one
+// prefilled document snapshot forked into fresh sequences that each append a
+// short divergent tail. With block-granular COW only the boundary page is
+// copied per fork, so the fork itself is O(pages) page-table work, not
+// O(tokens) KV copying; the reported pages/fork metric is the arena cost of
+// one divergent descendant.
+func BenchmarkForkDivergence(b *testing.B) {
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	arena := clusterkv.NewKVArena(clusterkv.DefaultKVPageTokens, nil)
+	doc := clusterkv.Doc(clusterkv.DefaultDocConfig(), 1024)
+	tail := clusterkv.Doc(clusterkv.DefaultDocConfig(), 16)
+
+	base := m.NewSequenceIn(arena, nil, 0)
+	base.Prefill(doc, nil)
+	snap := base.Snapshot()
+	base.Release()
+	pagesBefore := arena.LivePages()
+
+	b.ResetTimer()
+	var pagesPerFork float64
+	for i := 0; i < b.N; i++ {
+		seq := m.NewSequenceFrom(snap, nil, 0)
+		seq.Prefill(tail, nil)
+		pagesPerFork = float64(arena.LivePages() - pagesBefore)
+		seq.Release()
+	}
+	b.StopTimer()
+	snap.Release()
+	b.ReportMetric(pagesPerFork, "pages/fork")
+}
+
 // BenchmarkTransformerDecode measures one decode step with ClusterKV active.
 func BenchmarkTransformerDecode(b *testing.B) {
 	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())

@@ -30,6 +30,7 @@ import (
 	"clusterkv/internal/bench"
 	"clusterkv/internal/cluster"
 	"clusterkv/internal/core"
+	"clusterkv/internal/kvcache"
 	"clusterkv/internal/memsim"
 	"clusterkv/internal/metrics"
 	"clusterkv/internal/model"
@@ -134,6 +135,30 @@ func DefaultModelConfig() ModelConfig { return model.DefaultConfig() }
 
 // NewModel builds a model with deterministic structured weights.
 func NewModel(cfg ModelConfig) *Model { return model.New(cfg) }
+
+// ---- Paged KV arena ---------------------------------------------------------
+
+// KVArena is the reference-counted page allocator behind every KV store:
+// forks share fully common pages copy-on-write, and an engine-owned arena
+// meters exact page residency for admission control (DESIGN.md §7).
+type KVArena = kvcache.Arena
+
+// DefaultKVPageTokens is the default arena page size in tokens.
+const DefaultKVPageTokens = kvcache.DefaultPageTokens
+
+// NewKVArena builds an arena with the given page size; acct (may be nil) is
+// charged pageTokens slots per live page.
+func NewKVArena(pageTokens int, acct *KVAccountant) *KVArena {
+	return kvcache.NewArena(pageTokens, acct)
+}
+
+// KVAccountant tracks aggregate KV slots against a budget (see
+// kvcache.Accountant).
+type KVAccountant = kvcache.Accountant
+
+// NewKVAccountant returns an accountant with the given capacity in token
+// slots (<= 0 for unlimited).
+func NewKVAccountant(capacity int64) *KVAccountant { return kvcache.NewAccountant(capacity) }
 
 // ---- Serving ----------------------------------------------------------------
 

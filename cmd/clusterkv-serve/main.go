@@ -61,7 +61,8 @@ func main() {
 		qLen      = flag.Int("qlen", 32, "question suffix length (tokens)")
 		newTok    = flag.Int("newtokens", 24, "tokens generated per request")
 		budget    = flag.Int("budget", 256, "per-head KV budget for compressed methods")
-		kvBudget  = flag.Int64("kvbudget", 0, "global device KV budget in per-head token slots (0 = unlimited)")
+		kvBudget  = flag.Int64("kvbudget", 0, "global KV budget in per-head token slots (0 = unlimited); exact page accounting by default")
+		worstCase = flag.Bool("worstcase", false, "revert to worst-case up-front KV reservations (pre-paged admission policy)")
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		method    = flag.String("method", "all", "methods to serve (clusterkv, quest, fullkv, all)")
@@ -93,8 +94,12 @@ func main() {
 	} else {
 		fmt.Printf("arrivals: closed loop (all requests queued up front)\n")
 	}
-	fmt.Printf("engine: %d streams, %d workers, intra-op pool %d, prefix cache %v, global KV budget %v\n\n",
-		*streams, effWorkers(*workers), clusterkv.IntraOpPool().Width(), !*noPrefix, budgetStr(*kvBudget))
+	admission := fmt.Sprintf("exact pages (%d-token pages)", clusterkv.DefaultKVPageTokens)
+	if *worstCase {
+		admission = "worst-case reservation"
+	}
+	fmt.Printf("engine: %d streams, %d workers, intra-op pool %d, prefix cache %v, global KV budget %v, admission %s\n\n",
+		*streams, effWorkers(*workers), clusterkv.IntraOpPool().Width(), !*noPrefix, budgetStr(*kvBudget), admission)
 
 	type row struct {
 		name                   string
@@ -128,11 +133,13 @@ func main() {
 			cfg.Workers = *workers
 		}
 		cfg.KVBudget = *kvBudget
+		cfg.WorstCaseAdmission = *worstCase
 		cfg.NoPrefixCache = *noPrefix
 		cfg.Seed = *seed
 		eng := clusterkv.NewEngine(m, cfg)
 		resps := dispatch(eng, reqs, load, *rate)
 		mx := eng.Metrics()
+		arenaPeak := eng.Arena().PeakPages()
 		eng.Close()
 
 		failed, compared := 0, 0
@@ -178,6 +185,8 @@ func main() {
 		rows = append(rows, r)
 
 		fmt.Printf("== %s ==\n%s", spec.name, mx.String())
+		fmt.Printf("kv arena: peak %d live pages (%d tokens/page, shared prefix pages counted once)\n",
+			arenaPeak, clusterkv.DefaultKVPageTokens)
 		if serialSecs > 0 {
 			fmt.Printf("serial baseline: %.1f tok/s (one request at a time, full per-request prefill)\n", r.serialTokS)
 			fmt.Printf("engine speedup:  %.2fx aggregate tokens/sec over serial decode\n", r.speedup)

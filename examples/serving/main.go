@@ -23,7 +23,11 @@ func main() {
 	load := clusterkv.NewLoad(lc)
 
 	// An engine with 4 concurrent streams and a global KV budget of 4096
-	// per-head token slots. Requests beyond the budget wait in the queue.
+	// per-head token slots, metered by exact page accounting: the paged KV
+	// arena charges actual copy-on-write pages (shared document pages once,
+	// however many requests fork them), and admission needs only a
+	// request's prefill pages plus one page of decode headroom. Requests
+	// beyond the budget wait in the queue.
 	cfg := clusterkv.DefaultEngineConfig()
 	cfg.MaxBatch = 4
 	cfg.KVBudget = 4096
@@ -65,6 +69,10 @@ func main() {
 	fmt.Println("\n(* = shared document served from the prefix cache)")
 
 	mx := eng.Metrics()
+	// The arena gauge shows block-granular sharing at work: the two cached
+	// documents' pages are live once each, not once per request.
+	fmt.Printf("\nkv arena: %d live pages of %d tokens (cached prefixes, shared by refcount)\n",
+		eng.Arena().LivePages(), clusterkv.DefaultKVPageTokens)
 	eng.Close() // graceful drain
 	fmt.Printf("\n%s", mx.String())
 }

@@ -4,7 +4,10 @@
 // raw attention-weight probes used for importance analysis.
 //
 // All routines operate on a single (layer, head) kvcache.Store; batching
-// across heads is done by callers.
+// across heads is done by callers. The gather paths read the store's pages
+// directly (KeyPage/ValuePage) — no flat materialisation — walking tokens in
+// position order with the same per-row arithmetic as a contiguous layout, so
+// outputs are bit-identical to the flat-copy fallback (Store.Keys/Values).
 package attention
 
 import (
@@ -27,15 +30,19 @@ func Full(out, q []float32, s *kvcache.Store, scores []float32) []float32 {
 	Weights(scores, q, s)
 	tensor.Softmax(scores)
 	tensor.Fill(out, 0)
-	vals := s.Values()
-	for i := 0; i < n; i++ {
-		w := scores[i]
-		if w == 0 {
-			continue
-		}
-		row := vals[i*d : (i+1)*d]
-		for j := range out {
-			out[j] += w * row[j]
+	i := 0
+	for p := 0; p < s.NumPages(); p++ {
+		vals := s.ValuePage(p)
+		for r := 0; r < len(vals); r += d {
+			w := scores[i]
+			i++
+			if w == 0 {
+				continue
+			}
+			row := vals[r : r+d]
+			for j := range out {
+				out[j] += w * row[j]
+			}
 		}
 	}
 	return scores
@@ -44,13 +51,12 @@ func Full(out, q []float32, s *kvcache.Store, scores []float32) []float32 {
 // Sparse computes out = softmax(q·K_Sᵀ/√d)·V_S over the tokens listed in
 // idx. scores is scratch of length ≥ len(idx). It returns the scratch slice.
 func Sparse(out, q []float32, s *kvcache.Store, idx []int, scores []float32) []float32 {
-	d := s.HeadDim()
 	m := len(idx)
 	if cap(scores) < m {
 		scores = make([]float32, m)
 	}
 	scores = scores[:m]
-	inv := float32(1 / math.Sqrt(float64(d)))
+	inv := float32(1 / math.Sqrt(float64(s.HeadDim())))
 	for j, p := range idx {
 		scores[j] = tensor.Dot(q, s.Key(p)) * inv
 	}
@@ -73,17 +79,20 @@ func Sparse(out, q []float32, s *kvcache.Store, idx []int, scores []float32) []f
 // into dst (length must be ≥ s.Len()). No softmax is applied; these are the
 // "attention weights" the paper's selection methods rank by (q·Kᵀ, §III-A).
 func Weights(dst, q []float32, s *kvcache.Store) {
-	n := s.Len()
 	d := s.HeadDim()
 	inv := float32(1 / math.Sqrt(float64(d)))
-	keys := s.Keys()
-	for i := 0; i < n; i++ {
-		row := keys[i*d : (i+1)*d]
-		var dot float32
-		for j := range q {
-			dot += q[j] * row[j]
+	i := 0
+	for p := 0; p < s.NumPages(); p++ {
+		keys := s.KeyPage(p)
+		for r := 0; r < len(keys); r += d {
+			row := keys[r : r+d]
+			var dot float32
+			for j := range q {
+				dot += q[j] * row[j]
+			}
+			dst[i] = dot * inv
+			i++
 		}
-		dst[i] = dot * inv
 	}
 }
 

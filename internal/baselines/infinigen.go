@@ -103,7 +103,9 @@ func (g *InfiniGen) OnPrefill(layer, head int, s *kvcache.Store) {
 	st := g.state(layer, head)
 	n := s.Len()
 	d := s.HeadDim()
-	keyMat := tensor.WrapMat(n, d, s.Keys())
+	// Non-retaining read: the key matrix is scratch for the SVD; only the
+	// projection basis survives, so the store keeps no flat mirror.
+	keyMat := tensor.WrapMat(n, d, s.ReadKeys(0, n, nil))
 	var v *tensor.Mat
 	if g.cfg.Projector != nil {
 		v = g.cfg.Projector(layer, head, keyMat, g.r)

@@ -30,6 +30,9 @@ func Registry() map[string]Runner {
 		"parprefill": func(o Options) []*Report {
 			return []*Report{RunParPrefill(o)}
 		},
+		"pagedkv": func(o Options) []*Report {
+			return []*Report{RunPagedKV(o)}
+		},
 	}
 }
 
@@ -38,6 +41,6 @@ func RegistryOrder() []string {
 	return []string{
 		"fig3a", "fig3b", "fig9", "tab1", "fig10",
 		"fig11a", "fig11b", "fig12", "fig13a", "fig13b",
-		"cache", "overlap", "ablations", "parprefill",
+		"cache", "overlap", "ablations", "parprefill", "pagedkv",
 	}
 }

@@ -58,6 +58,12 @@ type Config struct {
 	KMeansIters int
 	// Seed makes clustering deterministic.
 	Seed uint64
+	// HostQuantBits, when 2–8, stores host-tier KV pages KIVI-quantized at
+	// that width, dequantizing on fetch (an extension beyond the paper:
+	// quantized offload under cluster-granularity recall). Off (0) by
+	// default — enabling it makes decoding lossy, so token streams are no
+	// longer bit-identical to the fp32 run.
+	HostQuantBits int
 	// PrefillClusterer, when non-nil, replaces the built-in K-means call for
 	// prefill clustering. keys holds the post-sink prefill keys (row-major),
 	// d the key dimension and c the requested cluster count; the returned
@@ -158,8 +164,13 @@ func (c *ClusterKV) OnPrefill(layer, head int, s *kvcache.Store) {
 	if sinks > n {
 		sinks = n
 	}
+	// Residency is tracked at the store's page granularity: offload and
+	// fetch move whole arena pages, the unit memsim charges PCIe for.
 	st.book = cluster.NewBook(s.HeadDim(), sinks)
-	st.ledger = kvcache.NewLedger()
+	st.ledger = kvcache.NewLedgerPaged(s.PageTokens())
+	if c.cfg.HostQuantBits > 0 {
+		st.ledger.Bind(s, c.cfg.HostQuantBits)
+	}
 	st.ledger.Extend(n, kvcache.TierDevice)
 	st.pendingFrom = n
 	if layer < c.cfg.BypassLayers {
@@ -170,7 +181,9 @@ func (c *ClusterKV) OnPrefill(layer, head int, s *kvcache.Store) {
 		return
 	}
 	c0 := c.prefillClusterCount(clusteredLen)
-	keys := s.Keys()[sinks*s.HeadDim():]
+	// Non-retaining read: the key matrix lives only for this clustering
+	// call, so the store never carries a flat mirror of its pages.
+	keys := s.ReadKeys(sinks, n, nil)
 	var res *cluster.Result
 	if c.cfg.PrefillClusterer != nil {
 		res = c.cfg.PrefillClusterer(layer, head, keys, s.HeadDim(), c0)
@@ -215,7 +228,7 @@ func (c *ClusterKV) OnAppend(layer, head int, s *kvcache.Store) {
 		return
 	}
 	d := s.HeadDim()
-	keys := s.Keys()[st.pendingFrom*d : s.Len()*d]
+	keys := s.ReadKeys(st.pendingFrom, s.Len(), nil)
 	res := cluster.KMeans(keys, d, c.cfg.DecodeClusters, cluster.Config{
 		Metric:   c.cfg.Metric,
 		MaxIters: c.cfg.KMeansIters,
@@ -287,8 +300,9 @@ func (c *ClusterKV) Select(layer, head int, q []float32, s *kvcache.Store, budge
 		}
 		st.cache[cl] = c.step
 	}
-	// Ledger keeps exact per-token residency (the cache retains whole
-	// clusters, so fetch every selected position).
+	// Ledger keeps page-granular residency (the cache retains whole
+	// clusters; fetching every selected position promotes the pages they
+	// live on).
 	st.ledger.Fetch(positions)
 
 	c.stats.SelectCalls++

@@ -55,6 +55,23 @@ func (a *Accountant) TryReserve(n int64) bool {
 	return true
 }
 
+// Grow reserves n slots unconditionally, even past capacity. The paged arena
+// uses it for page allocations: admission control gates *requests* against
+// the budget (TryReserve), but an admitted sequence's decode appends must
+// never fail mid-flight — growth past capacity shows up in Used/Peak and
+// throttles the next admission instead.
+func (a *Accountant) Grow(n int64) {
+	if n < 0 {
+		panic("kvcache: Grow with negative size")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.used += n
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+}
+
 // Release returns n previously reserved slots. It panics if more is released
 // than is currently reserved (a double-release bug in the caller).
 func (a *Accountant) Release(n int64) {

@@ -1,65 +1,166 @@
 package kvcache
 
-// Tier identifies where the simulated copy of a token's KV resides.
+import "sort"
+
+// Tier identifies where the simulated copy of a KV page resides.
 type Tier uint8
 
 const (
-	// TierDevice means the token's KV is resident in (simulated) GPU memory.
+	// TierDevice means the page's KV is resident in (simulated) GPU memory.
 	TierDevice Tier = iota
-	// TierHost means the token's KV was offloaded to (simulated) CPU memory
+	// TierHost means the page's KV was offloaded to (simulated) CPU memory
 	// and must be transferred over PCIe before attention can read it.
 	TierHost
 )
 
-// Ledger tracks per-token residency for one (layer, head) store and counts
+// Ledger tracks per-page residency for one (layer, head) store and counts
 // simulated transfers. It is the bookkeeping behind the paper's Fig. 5
-// offload arrows and the §IV-D cache-hit accounting.
+// offload arrows and the §IV-D cache-hit accounting, at the granularity real
+// offloaders move data: whole pages, not tokens. A page-1 ledger
+// (NewLedger) degenerates to exact per-token residency.
+//
+// Page rules:
+//   - Fetch promotes every page containing a requested position; a page
+//     already device-resident is one hit, a host page is one transfer —
+//     counters are in pages (equal to tokens when PageTokens() == 1).
+//   - Offload demotes only pages fully inside the range: a page with any
+//     token outside [from, to) keeps its device copy (the decode tail's
+//     partially filled page is still being written on device).
+//   - Evict demotes every page containing an evicted position: reclaiming a
+//     page's device memory takes its co-located tokens with it — exactly the
+//     granularity cost block-based cache management pays.
 type Ledger struct {
-	tiers []Tier
-	// HostToDevice counts tokens transferred host→device (cache misses).
+	pageTokens int
+	tiers      []Tier // one entry per page
+	n          int    // registered tokens
+	// HostToDevice counts pages transferred host→device (cache misses).
 	HostToDevice int64
-	// DeviceHits counts tokens that were already device-resident when
+	// DeviceHits counts pages that were already device-resident when
 	// requested (cache hits).
 	DeviceHits int64
+
+	// store, when bound, receives page-granular quantize/restore calls as
+	// residency changes: host-tier pages are stored quantized at quantBits.
+	store     *Store
+	quantBits int
+
+	scratch []int // page-dedup scratch reused across Fetch calls
 }
 
-// NewLedger returns a ledger with no tokens.
-func NewLedger() *Ledger { return &Ledger{} }
+// NewLedger returns a token-granular ledger (page size 1), the exact
+// residency bookkeeping the per-token experiments use.
+func NewLedger() *Ledger { return NewLedgerPaged(1) }
+
+// NewLedgerPaged returns a ledger tracking residency in pages of the given
+// token count.
+func NewLedgerPaged(pageTokens int) *Ledger {
+	if pageTokens <= 0 {
+		panic("kvcache: non-positive ledger page size")
+	}
+	return &Ledger{pageTokens: pageTokens}
+}
+
+// PageTokens returns the residency granularity in tokens.
+func (l *Ledger) PageTokens() int { return l.pageTokens }
+
+// Bind attaches a store so host-tier transitions quantize its pages at the
+// given bit width (2–8) and fetches restore (dequantize) them — the
+// simulated "quantized host tier" extension, off unless a selector or
+// experiment opts in. The store's page size must match the ledger's.
+func (l *Ledger) Bind(s *Store, quantBits int) {
+	if s != nil && s.PageTokens() != l.pageTokens {
+		panic("kvcache: Bind page-size mismatch")
+	}
+	l.store = s
+	l.quantBits = quantBits
+}
+
+// pageOf returns the page index of token position p.
+func (l *Ledger) pageOf(p int) int { return p / l.pageTokens }
+
+// NumPages returns the number of residency pages covering the tokens.
+func (l *Ledger) NumPages() int { return len(l.tiers) }
 
 // Extend registers n new tokens at the given tier (tokens are created on the
-// device during prefill/decode, then typically offloaded).
+// device during prefill/decode, then typically offloaded). A page partially
+// covered by the previous length adopts t only if it was device-resident or
+// t is TierDevice — fresh tokens are written on device, which pulls their
+// page's simulated copy back regardless of where the older rows sat.
 func (l *Ledger) Extend(n int, t Tier) {
-	for i := 0; i < n; i++ {
+	if n < 0 {
+		panic("kvcache: Extend with negative count")
+	}
+	prev := l.n
+	l.n += n
+	if n > 0 && prev%l.pageTokens != 0 && t == TierDevice {
+		// The boundary page was partially filled and gains fresh device rows.
+		l.tiers[len(l.tiers)-1] = TierDevice
+	}
+	want := (l.n + l.pageTokens - 1) / l.pageTokens
+	for len(l.tiers) < want {
 		l.tiers = append(l.tiers, t)
 	}
 }
 
 // Len returns the number of registered tokens.
-func (l *Ledger) Len() int { return len(l.tiers) }
+func (l *Ledger) Len() int { return l.n }
 
-// OffloadAll marks every token as host-resident (the post-prefill offload of
+// OffloadAll marks every page host-resident (the post-prefill offload of
 // Fig. 5, and the periodic decode-time offload every m steps).
 func (l *Ledger) OffloadAll() {
 	for i := range l.tiers {
-		l.tiers[i] = TierHost
+		l.demote(i)
 	}
 }
 
-// Offload marks tokens [from, to) as host-resident.
+// Offload marks the pages fully contained in token range [from, to) as
+// host-resident; partially covered boundary pages keep their device copy.
 func (l *Ledger) Offload(from, to int) {
-	for i := from; i < to; i++ {
-		l.tiers[i] = TierHost
+	first := (from + l.pageTokens - 1) / l.pageTokens // first fully covered
+	last := to / l.pageTokens                         // one past last fully covered
+	hi := min(last, len(l.tiers))
+	for p := first; p < hi; p++ {
+		l.demote(p)
+	}
+	// The final partial page is offloadable only when it ends the ledger's
+	// registered range exactly at to (nothing newer lives on it).
+	if to == l.n && to%l.pageTokens != 0 && last < len(l.tiers) && from <= last*l.pageTokens {
+		l.demote(last)
 	}
 }
 
-// Fetch requests the given token positions for attention. Host-resident
-// tokens are counted as transfers and become device-resident; device-resident
-// tokens are counted as hits. It returns the number of tokens transferred.
+// Fetch requests the given token positions for attention. Every page holding
+// a requested position is promoted exactly once: host pages count as
+// transfers, device pages as hits. It returns the number of pages
+// transferred.
 func (l *Ledger) Fetch(positions []int) int {
 	moved := 0
+	if l.pageTokens == 1 {
+		// Token-granular fast path: one page per position, no dedup needed.
+		for _, p := range positions {
+			if l.tiers[p] == TierHost {
+				l.promote(p)
+				l.HostToDevice++
+				moved++
+			} else {
+				l.DeviceHits++
+			}
+		}
+		return moved
+	}
+	l.scratch = l.scratch[:0]
 	for _, p := range positions {
-		if l.tiers[p] == TierHost {
-			l.tiers[p] = TierDevice
+		l.scratch = append(l.scratch, l.pageOf(p))
+	}
+	sort.Ints(l.scratch)
+	last := -1
+	for _, pg := range l.scratch {
+		if pg == last {
+			continue
+		}
+		last = pg
+		if l.tiers[pg] == TierHost {
+			l.promote(pg)
 			l.HostToDevice++
 			moved++
 		} else {
@@ -69,19 +170,35 @@ func (l *Ledger) Fetch(positions []int) int {
 	return moved
 }
 
-// Evict marks the given positions host-resident without counting a transfer
-// (device memory reclaimed; the host copy was never deleted).
+// Evict marks every page containing one of the positions host-resident
+// without counting a transfer (device memory reclaimed; the host copy was
+// never deleted).
 func (l *Ledger) Evict(positions []int) {
 	for _, p := range positions {
-		l.tiers[p] = TierHost
+		l.demote(l.pageOf(p))
 	}
 }
 
-// TierOf reports the current tier of token p.
-func (l *Ledger) TierOf(p int) Tier { return l.tiers[p] }
+// TierOf reports the current tier of token p (the tier of its page).
+func (l *Ledger) TierOf(p int) Tier { return l.tiers[l.pageOf(p)] }
 
 // ResetCounters zeroes the transfer counters, keeping residency state.
 func (l *Ledger) ResetCounters() {
 	l.HostToDevice = 0
 	l.DeviceHits = 0
+}
+
+func (l *Ledger) promote(pg int) {
+	l.tiers[pg] = TierDevice
+	if l.store != nil && pg < l.store.NumPages() && l.store.PageQuantized(pg) {
+		// Dequantize-on-fetch: touching the page restores float storage.
+		_ = l.store.KeyPage(pg)
+	}
+}
+
+func (l *Ledger) demote(pg int) {
+	l.tiers[pg] = TierHost
+	if l.store != nil && pg < l.store.NumPages() {
+		l.store.QuantizePage(pg, l.quantBits)
+	}
 }

@@ -1,5 +1,7 @@
 package memsim
 
+import "math"
+
 // DecodeBreakdown itemises one decode step's modeled latency in seconds.
 // Total applies copy/compute overlap: host→device transfers proceed on the
 // copy engine concurrently with compute, so
@@ -60,21 +62,45 @@ type ClusterKVCounts struct {
 	// MissRate is the fraction of selected tokens loaded over PCIe
 	// (1 − cache hit rate, §IV-D).
 	MissRate float64
+	// PageTokens, when > 0, charges PCIe at page granularity: the missed
+	// tokens are rounded up to whole KV pages per (layer, kv head), matching
+	// the paged arena's transfer unit. 0 keeps the token-granular charge.
+	PageTokens int
+}
+
+// roundUpToPages rounds a per-head token count up to whole pages of
+// pageTokens (identity when pageTokens <= 0 — token-granular charging).
+func roundUpToPages(tokens float64, pageTokens int) float64 {
+	if pageTokens <= 0 || tokens <= 0 {
+		return tokens
+	}
+	p := float64(pageTokens)
+	return math.Ceil(tokens/p) * p
+}
+
+// PageTransfer returns the PCIe time to move the given number of whole KV
+// pages (pageTokens tokens per page, per-(layer, head) planes included in
+// KVBytesPerToken's per-token figure times pageTokens).
+func (hw Hardware) PageTransfer(m ModelShape, pages int, pageTokens int) float64 {
+	return float64(pages) * float64(pageTokens) * m.KVBytesPerToken() / hw.PCIeBandwidth
 }
 
 // DecodeStepClusterKV models one ClusterKV decode step: weights + attention
 // over B gathered tokens + centroid scoring + PCIe transfer of cache-missed
-// tokens (overlapped with compute).
+// tokens (overlapped with compute). With PageTokens set, the transfer term
+// moves whole pages — the missed fraction of the budget rounded up to page
+// multiples, which is what the paged offload actually copies.
 func (hw Hardware) DecodeStepClusterKV(m ModelShape, c ClusterKVCounts) DecodeBreakdown {
 	kvBudgetBytes := float64(c.Budget) * m.KVBytesPerToken()
 	// Centroid matrix read + scores: C centroids × HeadDim per (kv head,
 	// layer), read at gather bandwidth.
 	centroidBytes := c.Clusters * float64(m.HeadDim*m.NKVHeads*m.NLayers) * bytesPerScalar
+	missTokens := roundUpToPages(c.MissRate*float64(c.Budget), c.PageTokens)
 	b := DecodeBreakdown{
 		Weights:   m.WeightBytes() / hw.HBMBandwidth,
 		Attention: kvBudgetBytes / hw.AttnGatherBandwidth,
 		Selection: centroidBytes/hw.AttnGatherBandwidth + hw.LaunchOverhead*0.5, // scoring + sort/gather kernels
-		Transfer:  c.MissRate * kvBudgetBytes / hw.PCIeBandwidth,
+		Transfer:  missTokens * m.KVBytesPerToken() / hw.PCIeBandwidth,
 		Launch:    hw.LaunchOverhead,
 	}
 	return hw.finish(b)

@@ -133,3 +133,43 @@ func TestBreakdownComposition(t *testing.T) {
 		t.Fatalf("Total %v != composition %v", b.Total, want)
 	}
 }
+
+func TestPageGranularTransferRoundsUp(t *testing.T) {
+	hw := AdaRTX6000()
+	m := Llama31_8B()
+	base := ClusterKVCounts{Budget: 1000, Clusters: 400, MissRate: 0.333}
+	tok := hw.DecodeStepClusterKV(m, base)
+
+	paged := base
+	paged.PageTokens = 64
+	pg := hw.DecodeStepClusterKV(m, paged)
+
+	// 333 missed tokens -> 6 pages of 64 = 384 page-tokens: the paged charge
+	// must exceed the token-granular one by exactly the rounding slack.
+	if pg.Transfer <= tok.Transfer {
+		t.Fatalf("paged transfer %.3g not above token-granular %.3g", pg.Transfer, tok.Transfer)
+	}
+	want := 384 * m.KVBytesPerToken() / hw.PCIeBandwidth
+	if math.Abs(pg.Transfer-want)/want > 1e-12 {
+		t.Fatalf("paged transfer %.6g, want %.6g", pg.Transfer, want)
+	}
+	// Compute terms are untouched by the granularity switch.
+	if pg.Weights != tok.Weights || pg.Attention != tok.Attention || pg.Selection != tok.Selection {
+		t.Fatal("page granularity changed non-transfer terms")
+	}
+
+	// An exact page multiple charges identically under both granularities.
+	exact := ClusterKVCounts{Budget: 1024, Clusters: 400, MissRate: 0.5, PageTokens: 64}
+	exactTok := exact
+	exactTok.PageTokens = 0
+	a := hw.DecodeStepClusterKV(m, exact).Transfer
+	b := hw.DecodeStepClusterKV(m, exactTok).Transfer
+	if a != b {
+		t.Fatalf("512 missed tokens: paged %.6g vs token %.6g", a, b)
+	}
+
+	// PageTransfer is the raw per-page PCIe term.
+	if got := hw.PageTransfer(m, 6, 64); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("PageTransfer = %.6g, want %.6g", got, want)
+	}
+}

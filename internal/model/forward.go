@@ -146,13 +146,22 @@ type Sequence struct {
 
 // NewSequence creates an empty sequence bound to a selection policy.
 // sel may be nil for full attention; budget is the per-head token budget
-// passed to the selector.
+// passed to the selector. KV pages come from the process-wide default arena;
+// serving engines use NewSequenceIn to allocate from a budget-metered arena.
 func (m *Model) NewSequence(sel attention.Selector, budget int) *Sequence {
+	return m.NewSequenceIn(kvcache.DefaultArena(), sel, budget)
+}
+
+// NewSequenceIn creates an empty sequence whose KV stores allocate pages from
+// the given arena, so an engine-owned accountant meters every page the
+// sequence touches. Callers that care about the arena's gauges (or its
+// accountant) should Release the sequence when done with it.
+func (m *Model) NewSequenceIn(a *kvcache.Arena, sel attention.Selector, budget int) *Sequence {
 	s := &Sequence{m: m, sel: sel, budget: budget}
 	cfg := m.cfg
 	s.stores = make([]*kvcache.Store, cfg.NLayers*cfg.NKVHeads)
 	for i := range s.stores {
-		s.stores[i] = kvcache.NewStore(cfg.HeadDim)
+		s.stores[i] = kvcache.NewStoreIn(a, cfg.HeadDim)
 	}
 	if sel != nil {
 		sel.Reset(cfg.NLayers, cfg.NKVHeads, cfg.HeadDim)
@@ -172,6 +181,16 @@ func (m *Model) NewSequence(sel attention.Selector, budget int) *Sequence {
 // Store returns the KV store of (layer, kvHead).
 func (s *Sequence) Store(layer, kvHead int) *kvcache.Store {
 	return s.stores[layer*s.m.cfg.NKVHeads+kvHead]
+}
+
+// Release returns every KV page the sequence holds to its arena (shared
+// prefix pages survive until their last holder releases). The sequence must
+// not be used afterwards. Release is idempotent; sequences on the default
+// arena may skip it and let the garbage collector reclaim pages.
+func (s *Sequence) Release() {
+	for _, st := range s.stores {
+		st.Free()
+	}
 }
 
 // Len returns the number of processed tokens.
@@ -330,7 +349,10 @@ func (s *Sequence) Prefill(tokens []int, wantLogits []float32) []float32 {
 	return last
 }
 
-// causalFull computes full attention of q over the first n tokens of st.
+// causalFull computes full attention of q over the first n tokens of st,
+// reading the store's pages directly (position order, identical arithmetic to
+// a contiguous layout). Page reads are immutable-row accesses, so parallel
+// prefill positions may run causalFull over the same store concurrently.
 func causalFull(out, q []float32, st *kvcache.Store, n int, scratch []float32) []float32 {
 	d := st.HeadDim()
 	if cap(scratch) < n {
@@ -338,26 +360,34 @@ func causalFull(out, q []float32, st *kvcache.Store, n int, scratch []float32) [
 	}
 	scores := scratch[:n]
 	inv := float32(1 / math.Sqrt(float64(d)))
-	keys := st.Keys()
-	for i := 0; i < n; i++ {
-		row := keys[i*d : (i+1)*d]
-		var dot float32
-		for j := range q {
-			dot += q[j] * row[j]
+	i := 0
+	for p := 0; i < n; p++ {
+		keys := st.KeyPage(p)
+		for r := 0; r < len(keys) && i < n; r += d {
+			row := keys[r : r+d]
+			var dot float32
+			for j := range q {
+				dot += q[j] * row[j]
+			}
+			scores[i] = dot * inv
+			i++
 		}
-		scores[i] = dot * inv
 	}
 	tensor.Softmax(scores)
 	tensor.Fill(out, 0)
-	vals := st.Values()
-	for i := 0; i < n; i++ {
-		wgt := scores[i]
-		if wgt == 0 {
-			continue
-		}
-		row := vals[i*d : (i+1)*d]
-		for j := range out {
-			out[j] += wgt * row[j]
+	i = 0
+	for p := 0; i < n; p++ {
+		vals := st.ValuePage(p)
+		for r := 0; r < len(vals) && i < n; r += d {
+			wgt := scores[i]
+			i++
+			if wgt == 0 {
+				continue
+			}
+			row := vals[r : r+d]
+			for j := range out {
+				out[j] += wgt * row[j]
+			}
 		}
 	}
 	return scratch

@@ -7,8 +7,9 @@ import (
 
 // Snapshot captures a sequence's KV state at a point in time so that many
 // sequences can continue from it without re-running prefill. The snapshot's
-// stores are zero-copy forks (kvcache.Store.Fork): the shared prefix is read
-// by every descendant, while each descendant's appends go to its own tail.
+// stores are zero-copy forks (kvcache.Store.Fork): they retain references on
+// the sequence's pages, the shared prefix is read by every descendant, and
+// each descendant's appends copy-on-write only its divergent tail page.
 //
 // This is the serving engine's prefix cache: one prefill of a shared
 // document, forked into every request that asks a question about it.
@@ -16,6 +17,17 @@ type Snapshot struct {
 	cfg    Config
 	stores []*kvcache.Store
 	pos    int
+}
+
+// Release drops the snapshot's page references. Pages still shared with live
+// descendants survive until those sequences release them; fully idle pages
+// return to the arena (and their slots to its accountant). The snapshot must
+// not be forked from afterwards. Release is idempotent.
+func (snap *Snapshot) Release() {
+	for _, st := range snap.stores {
+		st.Free()
+	}
+	snap.pos = 0
 }
 
 // Snapshot freezes the sequence's current KV state. The sequence remains

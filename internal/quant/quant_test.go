@@ -175,3 +175,50 @@ func TestClusteringSurvivesQuantization(t *testing.T) {
 		t.Fatalf("only %.0f%% of assignments survive 4-bit quantization", frac*100)
 	}
 }
+
+// TestPageShapeRoundTrip covers the shapes the paged KV arena quantizes: one
+// 64-token page per (layer, head), keys per-channel and values per-token,
+// with the reconstruction error bounded by half a quantization step per
+// group — the guarantee the host-quantized tier relies on.
+func TestPageShapeRoundTrip(t *testing.T) {
+	const pageTokens, d = 64, 16
+	r := rng.New(77)
+	keys := make([]float32, pageTokens*d)
+	vals := make([]float32, pageTokens*d)
+	for i := range keys {
+		keys[i] = r.NormFloat32() * 3
+		vals[i] = r.NormFloat32()
+	}
+	// An outlier channel, the KIVI motivation for per-channel key scales.
+	for i := 0; i < pageTokens; i++ {
+		keys[i*d+3] *= 40
+	}
+
+	for _, bits := range []int{4, 8} {
+		qk := Quantize(keys, pageTokens, d, bits, PerChannel)
+		qv := Quantize(vals, pageTokens, d, bits, PerToken)
+		rk := qk.Dequantize(nil)
+		rv := qv.Dequantize(nil)
+		for i := 0; i < pageTokens; i++ {
+			for j := 0; j < d; j++ {
+				if e := abs64(keys[i*d+j] - rk[i*d+j]); e > float64(qk.Scales[j])*0.5+1e-6 {
+					t.Fatalf("bits=%d key (%d,%d): err %.4g > step/2 %.4g", bits, i, j, e, qk.Scales[j]*0.5)
+				}
+				if e := abs64(vals[i*d+j] - rv[i*d+j]); e > float64(qv.Scales[i])*0.5+1e-6 {
+					t.Fatalf("bits=%d val (%d,%d): err %.4g > step/2 %.4g", bits, i, j, e, qv.Scales[i]*0.5)
+				}
+			}
+		}
+		// The outlier channel must not poison its neighbours' scales.
+		if qk.Scales[3] < 10*qk.Scales[2] {
+			t.Fatalf("bits=%d: outlier channel scale %.3g vs neighbour %.3g", bits, qk.Scales[3], qk.Scales[2])
+		}
+	}
+}
+
+func abs64(x float32) float64 {
+	if x < 0 {
+		return float64(-x)
+	}
+	return float64(x)
+}

@@ -32,10 +32,26 @@ type Config struct {
 	// QueueCap bounds the intake queue; Submit blocks when it is full
 	// (backpressure). Default 256.
 	QueueCap int
-	// KVBudget is the global device-residency budget across all sequences
-	// and cached prefixes, in per-head token slots (see kvcache.Accountant).
+	// KVBudget is the global KV-residency budget across all sequences and
+	// cached prefixes, in per-head token slots (see kvcache.Accountant).
 	// 0 means unlimited.
+	//
+	// Under the default exact page accounting the budget meters *actual
+	// arena pages* (deduplicated across forks: a page shared by ten
+	// sequences is charged once) and admission needs only the request's
+	// marginal prefill pages plus a small decode headroom. Under
+	// WorstCaseAdmission it meters up-front worst-case reservations as the
+	// pre-paged engine did.
 	KVBudget int64
+	// PageTokens sets the engine arena's page size in tokens
+	// (default kvcache.DefaultPageTokens).
+	PageTokens int
+	// WorstCaseAdmission reverts admission control to the legacy policy:
+	// reserve each request's worst-case residency (kvCost) at admission and
+	// hold it until retirement, with shared prefixes charged on the cache
+	// entry. Kept for comparison (the pagedkv experiment) and for callers
+	// that want hard reservation semantics instead of exact metering.
+	WorstCaseAdmission bool
 	// NoPrefixCache disables shared-prefix prefill reuse (on by default).
 	NoPrefixCache bool
 	// Seed drives sampling and any tie-breaking, making runs reproducible.
@@ -59,6 +75,15 @@ type Engine struct {
 	m    *model.Model
 	cfg  Config
 	acct *kvcache.Accountant
+	// arena backs every sequence and cached prefix the engine creates. Under
+	// exact admission it charges acct per live page, so Used() is the exact
+	// deduplicated KV footprint.
+	arena *kvcache.Arena
+	// planes is the number of (layer, kvHead) stores per sequence; exact
+	// accounting runs in raw slots (tokens × planes) and reports per-head
+	// units by dividing back out.
+	planes int64
+	exact  bool
 
 	intake chan []*task
 
@@ -121,15 +146,46 @@ func NewEngine(m *model.Model, cfg Config) *Engine {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 256
 	}
+	if cfg.PageTokens <= 0 {
+		cfg.PageTokens = kvcache.DefaultPageTokens
+	}
+	mc := m.Config()
+	planes := int64(mc.NLayers * mc.NKVHeads)
 	e := &Engine{
 		m:      m,
 		cfg:    cfg,
-		acct:   kvcache.NewAccountant(cfg.KVBudget),
+		planes: planes,
+		exact:  !cfg.WorstCaseAdmission,
 		intake: make(chan []*task, cfg.QueueCap),
 		done:   make(chan struct{}),
 	}
+	if e.exact {
+		capacity := cfg.KVBudget
+		if capacity > 0 {
+			capacity *= planes
+		}
+		e.acct = kvcache.NewAccountant(capacity)
+		e.arena = kvcache.NewArena(cfg.PageTokens, e.acct)
+	} else {
+		e.acct = kvcache.NewAccountant(cfg.KVBudget)
+		e.arena = kvcache.NewArena(cfg.PageTokens, nil)
+	}
 	go e.loop()
 	return e
+}
+
+// Arena exposes the engine's page arena (read-only use intended: gauges for
+// tests and the pagedkv experiment).
+func (e *Engine) Arena() *kvcache.Arena { return e.arena }
+
+// kvUnits converts raw accountant slots to the per-head token units the
+// config and metrics speak (a no-op under worst-case admission, whose
+// accountant already runs in per-head units).
+func (e *Engine) kvUnits(v int64) int64 {
+	if e.exact {
+		return v / e.planes
+	}
+	return v
 }
 
 // Accountant exposes the shared residency ledger (read-only use intended).
@@ -322,6 +378,12 @@ func (e *Engine) loop() {
 		}
 
 		e.runRound(active)
+		// High-water sampling at the round barrier: within a round only
+		// workers allocate (frees happen on this goroutine between rounds),
+		// so the end-of-round gauge is the round's deterministic maximum —
+		// unlike the accountant's internal peak, which can catch transient
+		// COW release/alloc interleavings in either order.
+		e.mx.observeKV(e.acct.Used())
 
 		// Post-round: publish built prefixes, retire finished tasks. A
 		// builder that failed before its snapshot existed unpublishes the
@@ -335,7 +397,7 @@ func (e *Engine) loop() {
 				t.entry.ready = true
 			} else if t.failed != nil {
 				delete(prefixes, t.entry.key)
-				e.acct.Release(t.entry.cost)
+				e.releaseEntry(t.entry)
 			}
 		}
 		n := 0
@@ -391,18 +453,43 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 		}
 	}
 
-	// With sharing, the prefix's residency is accounted on the cache entry
-	// (created below if absent), so the request itself is always charged
-	// only its marginal tail.
+	// Worst-case mode: the prefix's residency is accounted on the cache
+	// entry (created below if absent), so the request itself is always
+	// charged only its marginal tail, held until retirement.
+	//
+	// Exact mode: the arena charges actual pages as prefill/decode allocate
+	// them, deduplicated by refcount, so shared prefix pages are charged
+	// once no matter how many forks hold them. Admission reserves only a
+	// provisional hold — the request's expected prefill pages plus a small
+	// decode headroom — which the prefill step swaps for the real page
+	// charges.
 	cost := kvCost(r, share)
+	builds := share && entry == nil
+	if e.exact {
+		// Gate on the smaller of the page estimate and the legacy device
+		// worst-case: a budgeted selector keeps at most Budget tokens per
+		// head device-resident, so its arena pages beyond that are simulated
+		// host memory and must not make the request unadmittable — exact
+		// admission accepts a superset of what worst-case reservation
+		// accepts at the same KVBudget. The hold is provisional either way;
+		// real page charges replace it at prefill.
+		legacy := cost * e.planes
+		if builds {
+			legacy += int64(r.SharedPrefixLen) * e.planes
+		}
+		cost = e.pageEstimate(r, share, builds)
+		if legacy < cost {
+			cost = legacy
+		}
+	}
 	need := cost
 	var newEntry *prefixEntry
-	if share && entry == nil {
-		newEntry = &prefixEntry{
-			tokens: r.Prompt[:r.SharedPrefixLen],
-			cost:   int64(r.SharedPrefixLen),
+	if builds {
+		newEntry = &prefixEntry{tokens: r.Prompt[:r.SharedPrefixLen]}
+		if !e.exact {
+			newEntry.cost = int64(r.SharedPrefixLen)
+			need += newEntry.cost
 		}
-		need += newEntry.cost
 	}
 	granted := e.acct.TryReserve(need)
 	for !granted && e.evictIdlePrefix(prefixes) {
@@ -437,7 +524,7 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 		t.resp.PrefixHit = !t.builder
 	}
 	t.resp.ID = t.id
-	t.resp.KVReserved = t.reserved
+	t.resp.KVReserved = e.kvUnits(t.reserved)
 	t.resp.AdmitRound = round
 	t.resp.QueueWait = time.Since(t.submitted)
 	if t.req.Temperature > 0 {
@@ -445,6 +532,31 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 	}
 	e.mx.observeAdmit(t)
 	return admitOK
+}
+
+// pageEstimate is the exact-admission gate: the raw slots (tokens × planes,
+// page-rounded) the request's prefill will allocate, plus a small decode
+// headroom of at most one page per plane. Unlike kvCost it deliberately does
+// NOT reserve the full MaxNewTokens worst case — decode growth is charged
+// page by page as it happens and throttles later admissions instead, which
+// is what lets the exact accountant admit long-generation loads the
+// worst-case policy refuses outright.
+func (e *Engine) pageEstimate(r *Request, share, builds bool) int64 {
+	p := int64(e.arena.PageTokens())
+	toks := int64(len(r.Prompt)) + 1 // +1: re-fed last prompt token
+	if share && !builds {
+		toks -= int64(r.SharedPrefixLen) // prefix pages already charged, shared by refcount
+	}
+	headroom := int64(r.MaxNewTokens)
+	if headroom > p {
+		headroom = p
+	}
+	toks += headroom
+	pages := (toks + p - 1) / p
+	if share {
+		pages++ // copy-on-write of the snapshot's partially filled tail page
+	}
+	return pages * p * e.planes
 }
 
 // evictIdlePrefix drops the least-recently-used unreferenced prefix entry,
@@ -464,9 +576,24 @@ func (e *Engine) evictIdlePrefix(prefixes map[uint64]*prefixEntry) bool {
 		return false
 	}
 	delete(prefixes, victimKey)
-	e.acct.Release(victim.cost)
+	e.releaseEntry(victim)
 	e.mx.prefixEvicted.Add(1)
 	return true
+}
+
+// releaseEntry returns a prefix entry's resources: the worst-case
+// reservation (legacy mode) and the snapshot's page references — pages still
+// shared with live forks survive until those sequences retire, so evicting a
+// busy prefix never invalidates its descendants.
+func (e *Engine) releaseEntry(p *prefixEntry) {
+	if p.cost > 0 {
+		e.acct.Release(p.cost)
+		p.cost = 0
+	}
+	if p.snap != nil {
+		p.snap.Release()
+		p.snap = nil
+	}
 }
 
 // runRound executes one step for every active task: inline when Workers <= 1,
@@ -520,6 +647,13 @@ func (e *Engine) step(t *task) {
 }
 
 func (e *Engine) prefillStep(t *task) {
+	if e.exact && t.reserved > 0 {
+		// Swap the admission hold for the real page charges the allocations
+		// below make. Admission only runs between rounds, so nothing races
+		// the window between release and allocation.
+		e.acct.Release(t.reserved)
+		t.reserved = 0
+	}
 	r := &t.req
 	var sel attention.Selector
 	if r.NewSelector != nil {
@@ -527,9 +661,15 @@ func (e *Engine) prefillStep(t *task) {
 	}
 	if t.entry != nil {
 		if t.builder {
-			base := e.m.NewSequence(nil, 0)
-			base.Prefill(t.entry.tokens, nil)
-			t.entry.snap = base.Snapshot() // published by the scheduler post-round
+			base := e.m.NewSequenceIn(e.arena, nil, 0)
+			func() {
+				// The snapshot retains the prefix pages; drop the builder
+				// sequence's own references even if Prefill panics, so a
+				// failed build never strands pages on the accountant.
+				defer base.Release()
+				base.Prefill(t.entry.tokens, nil)
+				t.entry.snap = base.Snapshot() // published by the scheduler post-round
+			}()
 			t.prefillN += len(t.entry.tokens)
 		}
 		t.seq = e.m.NewSequenceFrom(t.entry.snap, sel, r.Budget)
@@ -537,7 +677,7 @@ func (e *Engine) prefillStep(t *task) {
 		t.seq.Prefill(suffix, nil)
 		t.prefillN += len(suffix)
 	} else {
-		t.seq = e.m.NewSequence(sel, r.Budget)
+		t.seq = e.m.NewSequenceIn(e.arena, sel, r.Budget)
 		t.seq.Prefill(r.Prompt, nil)
 		t.prefillN += len(r.Prompt)
 	}
@@ -597,11 +737,18 @@ func (t *task) sample() int {
 	return len(logits) - 1
 }
 
-// retire releases a task's resources and delivers its response.
+// retire releases a task's resources and delivers its response: any
+// still-held reservation (the worst-case hold, or an exact-mode admission
+// hold the prefill never swapped out), the sequence's pages, and the prefix
+// entry reference.
 func (e *Engine) retire(t *task, round int64, err error) {
 	if t.reserved > 0 {
 		e.acct.Release(t.reserved)
 		t.reserved = 0
+	}
+	if t.seq != nil {
+		t.seq.Release()
+		t.seq = nil
 	}
 	if t.entry != nil {
 		t.entry.refs--
@@ -626,10 +773,10 @@ func (e *Engine) failAll(pending, active []*task, prefixes map[uint64]*prefixEnt
 	return nil
 }
 
-// releasePrefixes returns all cached prefix reservations.
+// releasePrefixes returns all cached prefix reservations and pages.
 func (e *Engine) releasePrefixes(prefixes map[uint64]*prefixEntry) {
 	for k, p := range prefixes {
 		delete(prefixes, k)
-		e.acct.Release(p.cost)
+		e.releaseEntry(p)
 	}
 }

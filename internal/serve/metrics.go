@@ -47,7 +47,11 @@ type Metrics struct {
 	Rounds int64
 	// Elapsed spans first admission to last retirement.
 	Elapsed time.Duration
-	// KV accounting (per-head token slots; see kvcache.Accountant).
+	// KV accounting, in per-head token slots (see kvcache.Accountant) in
+	// both admission modes. Under exact page accounting KVUsed is the live
+	// deduplicated page footprint and KVPeak its high-water mark sampled at
+	// round barriers; under WorstCaseAdmission they are the reservation
+	// gauge and its instantaneous peak, as in the pre-paged engine.
 	KVUsed, KVPeak, KVCapacity int64
 	// Latency distributions.
 	TTFT, TokenLatency, QueueWait LatencyStats
@@ -92,9 +96,20 @@ type engineMetrics struct {
 	prefixHits, prefixMisses uint64
 	tokensOut, prefillTokens int64
 	rounds                   int64
+	kvPeak                   int64
 	queueDepth, batchOcc     metrics.Summary
 	ttft, tokenLat, qwait    metrics.Summary
 	firstAdmit, lastDone     time.Time
+}
+
+// observeKV records the accountant gauge sampled at a round barrier,
+// tracking the deterministic round-granular high-water mark.
+func (x *engineMetrics) observeKV(used int64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if used > x.kvPeak {
+		x.kvPeak = used
+	}
 }
 
 func (x *engineMetrics) observeRound(queued, active int) {
@@ -148,6 +163,17 @@ func (x *engineMetrics) observeRetire(t *task, err error) {
 	x.lastDone = time.Now()
 }
 
+// kvPeak picks the peak gauge for the active admission mode: the sampled
+// round-barrier high-water under exact accounting (deterministic across
+// worker interleavings), the accountant's instantaneous peak under
+// worst-case reservations. The caller holds x.mu.
+func (e *Engine) kvPeak(x *engineMetrics) int64 {
+	if e.exact {
+		return e.kvUnits(x.kvPeak)
+	}
+	return e.acct.Peak()
+}
+
 // Metrics returns a snapshot of the engine's aggregate metrics.
 func (e *Engine) Metrics() Metrics {
 	x := &e.mx
@@ -168,9 +194,9 @@ func (e *Engine) Metrics() Metrics {
 		PrefillTokens:      x.prefillTokens,
 		Rounds:             x.rounds,
 		Elapsed:            elapsed,
-		KVUsed:             e.acct.Used(),
-		KVPeak:             e.acct.Peak(),
-		KVCapacity:         e.acct.Capacity(),
+		KVUsed:             e.kvUnits(e.acct.Used()),
+		KVPeak:             e.kvPeak(x),
+		KVCapacity:         e.kvUnits(e.acct.Capacity()),
 		TTFT:               summarize(&x.ttft),
 		TokenLatency:       summarize(&x.tokenLat),
 		QueueWait:          summarize(&x.qwait),

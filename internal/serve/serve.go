@@ -10,12 +10,15 @@
 //     so a finished request's slot is refilled immediately instead of
 //     waiting for a whole batch to drain;
 //   - admission control: a bounded intake queue provides backpressure, and a
-//     shared kvcache.Accountant tracks aggregate device residency across all
-//     sequences against a global KV budget — a request is only admitted when
-//     its worst-case residency fits;
+//     shared kvcache.Accountant tracks aggregate KV residency against a
+//     global budget. By default the engine's paged arena meters *exact* page
+//     residency (shared copy-on-write pages charged once, admission on
+//     prefill pages plus a small decode headroom); Config.WorstCaseAdmission
+//     restores up-front worst-case reservations;
 //   - prefix caching: requests that declare a shared prompt prefix (the
 //     long-document multi-question scenario ClusterKV targets) reuse one
-//     prefill via zero-copy kvcache.Store forks instead of recomputing it;
+//     prefill via copy-on-write kvcache.Store forks instead of recomputing
+//     it, sharing every fully common KV page block-granularly;
 //   - per-request selectors: every request brings its own Selector factory,
 //     so ClusterKV, Quest and FullKV tenants can share one server;
 //   - deterministic execution: given a seed and a fixed submission order,
@@ -80,8 +83,10 @@ type Response struct {
 	// PrefixHit reports whether the shared prefix was served from the
 	// prefix cache instead of being prefilled.
 	PrefixHit bool
-	// KVReserved is the device-residency reservation (per-head token slots)
-	// this request held while active.
+	// KVReserved is the admission charge in per-head token slots: under
+	// exact page accounting, the page-rounded prefill estimate (plus decode
+	// headroom) the request was gated on; under worst-case admission, the
+	// reservation held for the request's lifetime.
 	KVReserved int64
 	// QueueWait is the time from Submit to admission.
 	QueueWait time.Duration
@@ -128,11 +133,13 @@ func (r *Request) validate() error {
 	return nil
 }
 
-// kvCost is the admission-control estimate of a request's worst-case device
-// residency in per-head token slots. A budgeted selector keeps at most
-// Budget tokens per head resident; an unbudgeted request keeps its whole
-// sequence. When the shared prefix is served from the cache its residency is
-// accounted once, on the cache entry, so only the marginal tail is charged.
+// kvCost is the worst-case admission policy's estimate of a request's
+// device residency in per-head token slots (Config.WorstCaseAdmission; the
+// default exact policy uses Engine.pageEstimate instead). A budgeted
+// selector keeps at most Budget tokens per head resident; an unbudgeted
+// request keeps its whole sequence. When the shared prefix is served from
+// the cache its residency is accounted once, on the cache entry, so only
+// the marginal tail is charged.
 func kvCost(r *Request, prefixShared bool) int64 {
 	l := len(r.Prompt) + r.MaxNewTokens + 1 // +1: re-fed last prompt token
 	if r.Budget > 0 && r.Budget < l {

@@ -218,9 +218,13 @@ func TestAdmissionControlRespectsKVBudget(t *testing.T) {
 	}
 }
 
+// TestOversizedRequestFailsFast locks the worst-case reservation policy: a
+// request whose up-front cost can never fit fails immediately, and a
+// budgeted selector's cost is its budget. (Exact-mode sizing is covered by
+// TestExactAdmissionOversized.)
 func TestOversizedRequestFailsFast(t *testing.T) {
 	m := testModel()
-	e := NewEngine(m, Config{Workers: 1, KVBudget: 32, Seed: 1})
+	e := NewEngine(m, Config{Workers: 1, KVBudget: 32, Seed: 1, WorstCaseAdmission: true})
 	defer e.Close()
 	resp := e.Submit(Request{Prompt: testDoc(1, 64), MaxNewTokens: 4}).Wait()
 	if !errors.Is(resp.Err, ErrTooLarge) {
@@ -340,7 +344,7 @@ func TestFailedPrefixBuilderDoesNotWedgeEngine(t *testing.T) {
 		MaxNewTokens:    4,
 	}
 
-	e := NewEngine(m, Config{Workers: 1, MaxBatch: 2, Seed: 1})
+	e := NewEngine(m, Config{Workers: 1, MaxBatch: 2, Seed: 1, WorstCaseAdmission: true})
 	resps := e.Run([]Request{bad, good})
 	used := e.Accountant().Used()
 	e.Close() // must not hang
@@ -373,7 +377,8 @@ func TestBuilderNotDoubleChargedForPrefix(t *testing.T) {
 		MaxNewTokens:    5,
 		// Unbudgeted: marginal tail = 10 + 5 + 1 = 16; entry = 80.
 	}
-	e := NewEngine(m, Config{Workers: 1, KVBudget: 100, Seed: 1}) // 96 needed, 170 would not fit
+	// 96 needed, 170 would not fit.
+	e := NewEngine(m, Config{Workers: 1, KVBudget: 100, Seed: 1, WorstCaseAdmission: true})
 	resp := e.Submit(req).Wait()
 	e.Close()
 	if resp.Err != nil {
@@ -455,7 +460,7 @@ func TestMixedTenantsShareEngine(t *testing.T) {
 func TestEngineMetricsSnapshot(t *testing.T) {
 	m := testModel()
 	reqs := qaRequests(4, 96, 8, 5, clusterSel)
-	e := NewEngine(m, Config{Workers: 2, MaxBatch: 2, KVBudget: 4096, Seed: 1})
+	e := NewEngine(m, Config{Workers: 2, MaxBatch: 2, KVBudget: 4096, Seed: 1, WorstCaseAdmission: true})
 	e.Run(reqs)
 	if used := e.Accountant().Used(); used != 96 {
 		// The shared 96-token document stays cached (and reserved) while
