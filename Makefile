@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-seq vet race bench bench-smoke serve clean
+.PHONY: build test test-seq test-xfer-race vet race bench bench-smoke serve clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ test: vet
 # determinism contract's width-independent outputs (DESIGN.md §6).
 test-seq:
 	GOMAXPROCS=1 $(GO) test ./...
+
+# Async transfer-runtime race lane: the serve engine and the kvcache/core
+# transfer-path packages under the race detector at GOMAXPROCS=2, the
+# narrowest schedule that still interleaves the background transfer worker
+# with compute threads (DESIGN.md §8).
+test-xfer-race:
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/serve/ ./internal/kvcache/ ./internal/core/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

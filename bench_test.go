@@ -229,6 +229,45 @@ func BenchmarkServeEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkServeTwoTierAsync measures the engine under two-tier admission
+// with the async transfer runtime: device budget below one request's prefill
+// footprint (unservable single-tier), host tier absorbing cold spills, and
+// layer-ahead prefetch overlapping the modeled channel. Reports the fraction
+// of transfer time hidden behind compute.
+func BenchmarkServeTwoTierAsync(b *testing.B) {
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	lc := clusterkv.DefaultLoadConfig()
+	lc.DocLen = 512
+	lc.NRequests = 8
+	lc.MaxNewTokens = 8
+	load := clusterkv.NewLoad(lc)
+	reqs := make([]clusterkv.ServeRequest, len(load))
+	for i, q := range load {
+		reqs[i] = clusterkv.ServeRequest{
+			Prompt:          q.Prompt,
+			SharedPrefixLen: q.SharedPrefixLen,
+			MaxNewTokens:    q.MaxNewTokens,
+			Budget:          64,
+			NewSelector: func() clusterkv.Selector {
+				return clusterkv.New(clusterkv.DefaultConfig())
+			},
+		}
+	}
+	b.ResetTimer()
+	var hidden float64
+	for i := 0; i < b.N; i++ {
+		eng := clusterkv.NewEngine(m, clusterkv.EngineConfig{
+			MaxBatch: 2, Workers: 2, Seed: 1,
+			KVBudget: 512, HostBudget: 16384, XferSecPerPage: 2e-6,
+		})
+		eng.Run(reqs)
+		eng.Close() // drain the transfer worker before reading telemetry
+		hidden = eng.Metrics().Transfer.HiddenFrac()
+	}
+	b.StopTimer()
+	b.ReportMetric(hidden*100, "hidden%")
+}
+
 // BenchmarkServeSerialBaseline decodes the same load one request at a time
 // through the plain Sequence API (the replayer the engine is compared to).
 func BenchmarkServeSerialBaseline(b *testing.B) {

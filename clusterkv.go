@@ -160,6 +160,36 @@ type KVAccountant = kvcache.Accountant
 // slots (<= 0 for unlimited).
 func NewKVAccountant(capacity int64) *KVAccountant { return kvcache.NewAccountant(capacity) }
 
+// NewTieredKVAccountant returns an accountant with separate device and host
+// capacities: admission gates on their sum, and the serving engine keeps the
+// device side under its capacity by spilling cold slots host-ward.
+func NewTieredKVAccountant(deviceCap, hostCap int64) *KVAccountant {
+	return kvcache.NewTieredAccountant(deviceCap, hostCap)
+}
+
+// TransferRuntime is the asynchronous tiered-KV transfer runtime: a
+// background executor servicing page-granular fetch/offload requests against
+// a modeled PCIe channel, returning futures attention waits on only if the
+// transfer hasn't landed. Engines create one per instance; selectors that
+// implement the RuntimeAware extension route their simulated KV movement
+// through it and gain layer-ahead prefetch.
+type TransferRuntime = kvcache.TransferRuntime
+
+// TransferChannel models the simulated host↔device link (seconds per page).
+type TransferChannel = kvcache.Channel
+
+// TransferOverlap is the runtime's copy/compute overlap telemetry: modeled
+// channel-busy seconds versus the portion compute actually waited out, plus
+// layer-ahead prefetch counters.
+type TransferOverlap = metrics.Overlap
+
+// NewTransferRuntime builds a transfer runtime on the given channel. sync
+// forces inline servicing (the fully exposed baseline); throttle makes waits
+// sleep out their exposed modeled time.
+func NewTransferRuntime(ch TransferChannel, sync, throttle bool) *TransferRuntime {
+	return kvcache.NewTransferRuntime(ch, sync, throttle)
+}
+
 // ---- Serving ----------------------------------------------------------------
 
 // Engine is the concurrent inference server: continuous batching across many

@@ -61,7 +61,9 @@ func main() {
 		qLen      = flag.Int("qlen", 32, "question suffix length (tokens)")
 		newTok    = flag.Int("newtokens", 24, "tokens generated per request")
 		budget    = flag.Int("budget", 256, "per-head KV budget for compressed methods")
-		kvBudget  = flag.Int64("kvbudget", 0, "global KV budget in per-head token slots (0 = unlimited); exact page accounting by default")
+		kvBudget  = flag.Int64("kvbudget", 0, "device KV budget in per-head token slots (0 = unlimited); exact page accounting by default")
+		hostBud   = flag.Int64("hostbudget", 0, "host-tier KV budget in per-head token slots (0 = single-tier); with -kvbudget set, admission gates on device+host and cold pages spill host-ward between rounds")
+		syncXfer  = flag.Bool("synctransfers", false, "force synchronous KV transfers (no layer-ahead prefetch overlap)")
 		worstCase = flag.Bool("worstcase", false, "revert to worst-case up-front KV reservations (pre-paged admission policy)")
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
 		seed      = flag.Uint64("seed", 1, "master seed")
@@ -97,7 +99,14 @@ func main() {
 	admission := fmt.Sprintf("exact pages (%d-token pages)", clusterkv.DefaultKVPageTokens)
 	if *worstCase {
 		admission = "worst-case reservation"
+	} else if *hostBud > 0 && *kvBudget > 0 {
+		admission = fmt.Sprintf("two-tier exact pages (device %d + host %d slots/head)", *kvBudget, *hostBud)
 	}
+	transfers := "async (layer-ahead prefetch)"
+	if *syncXfer {
+		transfers = "sync (blocking)"
+	}
+	fmt.Printf("transfers: %s\n", transfers)
 	fmt.Printf("engine: %d streams, %d workers, intra-op pool %d, prefix cache %v, global KV budget %v, admission %s\n\n",
 		*streams, effWorkers(*workers), clusterkv.IntraOpPool().Width(), !*noPrefix, budgetStr(*kvBudget), admission)
 
@@ -133,14 +142,16 @@ func main() {
 			cfg.Workers = *workers
 		}
 		cfg.KVBudget = *kvBudget
+		cfg.HostBudget = *hostBud
+		cfg.SyncTransfers = *syncXfer
 		cfg.WorstCaseAdmission = *worstCase
 		cfg.NoPrefixCache = *noPrefix
 		cfg.Seed = *seed
 		eng := clusterkv.NewEngine(m, cfg)
 		resps := dispatch(eng, reqs, load, *rate)
+		eng.Close() // drain (incl. the transfer worker) before the snapshot
 		mx := eng.Metrics()
 		arenaPeak := eng.Arena().PeakPages()
-		eng.Close()
 
 		failed, compared := 0, 0
 		match := "n/a"
@@ -187,6 +198,15 @@ func main() {
 		fmt.Printf("== %s ==\n%s", spec.name, mx.String())
 		fmt.Printf("kv arena: peak %d live pages (%d tokens/page, shared prefix pages counted once)\n",
 			arenaPeak, clusterkv.DefaultKVPageTokens)
+		if *hostBud > 0 && !*worstCase {
+			fmt.Printf("host tier: %d slots resident (peak %d of %d), %d slots spilled, device peak %d of %d\n",
+				mx.KVHostUsed, mx.KVHostPeak, mx.KVHostCapacity, mx.KVSpilled, mx.KVDevicePeak, mx.KVCapacity)
+		}
+		if tr := mx.Transfer; tr.PrefetchedPages > 0 {
+			fmt.Printf("prefetch: %.0f%% hit rate (%d of %d pages claimed by fetches, %d dropped), %.0f%% of transfer time hidden\n",
+				tr.PrefetchHitRate()*100, tr.PrefetchHits, tr.PrefetchedPages, tr.PrefetchDropped,
+				tr.HiddenFrac()*100)
+		}
 		if serialSecs > 0 {
 			fmt.Printf("serial baseline: %.1f tok/s (one request at a time, full per-request prefill)\n", r.serialTokS)
 			fmt.Printf("engine speedup:  %.2fx aggregate tokens/sec over serial decode\n", r.speedup)

@@ -37,6 +37,28 @@ type Selector interface {
 	Stats() SelStats
 }
 
+// LayerAware is an optional Selector extension: the model's forward loops
+// (Prefill and Decode) bracket every layer's computation with
+// BeforeLayer/AfterLayer, so a selector can overlap work with compute —
+// layer-ahead prefetch issues speculative KV transfers in AfterLayer(l) and
+// drains them in BeforeLayer(l+1), hiding transfer time behind the layer in
+// between. Hooks run on the compute goroutine; implementations must tolerate
+// being called before any prefill (no metadata yet).
+type LayerAware interface {
+	// BeforeLayer runs just before layer's attention/FFN computation.
+	BeforeLayer(layer int)
+	// AfterLayer runs right after layer's computation completes.
+	AfterLayer(layer int)
+}
+
+// RuntimeAware is an optional Selector extension: selectors that route their
+// simulated KV movement through an asynchronous transfer runtime accept it
+// here. The serving engine hands every RuntimeAware selector its engine-wide
+// runtime before the request's first prefill.
+type RuntimeAware interface {
+	SetTransferRuntime(rt *kvcache.TransferRuntime)
+}
+
 // SelStats aggregates the operation counts the latency model charges for.
 // All counts are totals across layers, heads and steps since Reset.
 type SelStats struct {

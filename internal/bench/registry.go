@@ -24,7 +24,7 @@ func Registry() map[string]Runner {
 		"fig13b": func(o Options) []*Report { return []*Report{RunFig13b(o)} },
 		"cache":  func(o Options) []*Report { return []*Report{RunCache(o)} },
 		"overlap": func(o Options) []*Report {
-			return []*Report{RunOverlap(o)}
+			return []*Report{RunOverlap(o), RunXferOverlap(o)}
 		},
 		"ablations": func(o Options) []*Report { return RunAblations(o) },
 		"parprefill": func(o Options) []*Report {

@@ -64,6 +64,12 @@ type Config struct {
 	// default — enabling it makes decoding lossy, so token streams are no
 	// longer bit-identical to the fp32 run.
 	HostQuantBits int
+	// DeviceCachePages, when > 0, caps the simulated device-resident pages
+	// per (layer, head) ledger: promotions past the cap evict the LRU
+	// unpinned page, and prefetches that find no evictable room are dropped.
+	// 0 leaves device residency unbounded (the paper's setting — the token
+	// budget, not page capacity, limits the working set).
+	DeviceCachePages int
 	// PrefillClusterer, when non-nil, replaces the built-in K-means call for
 	// prefill clustering. keys holds the post-sink prefill keys (row-major),
 	// d the key dimension and c the requested cluster count; the returned
@@ -102,6 +108,17 @@ type headState struct {
 	ledger *kvcache.Ledger
 	// scratch for cluster scores.
 	scores []float32
+	// lastQ is a copy of the most recent query routed to this head, the
+	// prediction input for layer-ahead prefetch (the next layer's clusters
+	// are scored against the current layer's query).
+	lastQ []float32
+	// pending is the in-flight prefetch targeting this head's ledger; it is
+	// drained (waited) in BeforeLayer before the head's own Select runs.
+	pending *kvcache.Transfer
+	// prefetchStep is the step a layer-ahead prefetch was last issued FOR
+	// this head, so each (step, head) predicts at most once (Select fires
+	// per query head, and AfterLayer backstops layers Select skipped).
+	prefetchStep int64
 }
 
 // ClusterKV implements attention.Selector.
@@ -113,9 +130,21 @@ type ClusterKV struct {
 	step   int64
 	states []*headState // layer*heads + head
 	stats  attention.SelStats
+
+	// rt, when set, routes simulated KV movement through the engine-wide
+	// async transfer runtime and enables layer-ahead prefetch via the
+	// BeforeLayer/AfterLayer hooks. nil keeps the synchronous Ledger path.
+	rt *kvcache.TransferRuntime
+	// lastBudget is the device token budget observed on the latest Select,
+	// reused to size prefetch predictions for the next layer.
+	lastBudget int
 }
 
-var _ attention.Selector = (*ClusterKV)(nil)
+var (
+	_ attention.Selector     = (*ClusterKV)(nil)
+	_ attention.LayerAware   = (*ClusterKV)(nil)
+	_ attention.RuntimeAware = (*ClusterKV)(nil)
+)
 
 // New returns a ClusterKV selector with the given configuration.
 func New(cfg Config) *ClusterKV {
@@ -137,6 +166,10 @@ func New(cfg Config) *ClusterKV {
 // Name implements attention.Selector.
 func (c *ClusterKV) Name() string { return "ClusterKV" }
 
+// SetTransferRuntime implements attention.RuntimeAware: simulated fetches go
+// through rt's modeled channel and AfterLayer issues layer-ahead prefetch.
+func (c *ClusterKV) SetTransferRuntime(rt *kvcache.TransferRuntime) { c.rt = rt }
+
 // Config returns the active configuration.
 func (c *ClusterKV) Config() Config { return c.cfg }
 
@@ -147,7 +180,7 @@ func (c *ClusterKV) Reset(layers, heads, headDim int) {
 	c.stats = attention.SelStats{}
 	c.states = make([]*headState, layers*heads)
 	for i := range c.states {
-		c.states[i] = &headState{cache: make(map[int]int64)}
+		c.states[i] = &headState{cache: make(map[int]int64), prefetchStep: -1}
 	}
 }
 
@@ -170,6 +203,9 @@ func (c *ClusterKV) OnPrefill(layer, head int, s *kvcache.Store) {
 	st.ledger = kvcache.NewLedgerPaged(s.PageTokens())
 	if c.cfg.HostQuantBits > 0 {
 		st.ledger.Bind(s, c.cfg.HostQuantBits)
+	}
+	if c.cfg.DeviceCachePages > 0 {
+		st.ledger.SetDeviceCap(c.cfg.DeviceCachePages)
 	}
 	st.ledger.Extend(n, kvcache.TierDevice)
 	st.pendingFrom = n
@@ -248,6 +284,19 @@ func (c *ClusterKV) OnAppend(layer, head int, s *kvcache.Store) {
 // with last-cluster trimming, always include sinks and the unclustered
 // decode tail, and account cache hits/misses at cluster granularity (§IV-D).
 func (c *ClusterKV) Select(layer, head int, q []float32, s *kvcache.Store, budget int) []int {
+	st := c.state(layer, head)
+	// Remember the query and budget even on bypass/full-attention paths:
+	// AfterLayer(layer) predicts layer+1's clusters from this query, and the
+	// first selecting layer's prefetch is predicted from the last bypass
+	// layer's query.
+	if c.rt != nil {
+		if cap(st.lastQ) < len(q) {
+			st.lastQ = make([]float32, len(q))
+		}
+		st.lastQ = st.lastQ[:len(q)]
+		copy(st.lastQ, q)
+		c.lastBudget = budget
+	}
 	if layer < c.cfg.BypassLayers {
 		return nil
 	}
@@ -255,7 +304,6 @@ func (c *ClusterKV) Select(layer, head int, q []float32, s *kvcache.Store, budge
 	if budget >= n {
 		return nil
 	}
-	st := c.state(layer, head)
 	sinks := st.book.Start()
 	tail := n - st.pendingFrom
 
@@ -302,8 +350,27 @@ func (c *ClusterKV) Select(layer, head int, q []float32, s *kvcache.Store, budge
 	}
 	// Ledger keeps page-granular residency (the cache retains whole
 	// clusters; fetching every selected position promotes the pages they
-	// live on).
-	st.ledger.Fetch(positions)
+	// live on). With a transfer runtime attached, the fetch is scheduled on
+	// the modeled channel and waited immediately — pages the layer-ahead
+	// prefetch already landed cost nothing here; only mispredicted (or
+	// first-touch) pages expose transfer time.
+	if c.rt != nil {
+		// Drain this head's layer-ahead prefetch first (issued during the
+		// previous layer; by now it has had that layer's tail plus this
+		// layer's projections to land), then fetch exactly what selection
+		// chose — pages the prefetch predicted right cost nothing here.
+		if st.pending != nil {
+			st.pending.Wait()
+			st.pending = nil
+		}
+		c.rt.Fetch(st.ledger, positions).Wait()
+		// Layer-ahead prefetch launches here, mid-attention: the predicted
+		// next-layer clusters transfer while this layer's remaining heads,
+		// output projection and FFN — and the next layer's QKV — compute.
+		c.issuePrefetch(layer+1, head, q, budget)
+	} else {
+		st.ledger.Fetch(positions)
+	}
 
 	c.stats.SelectCalls++
 	c.stats.TokensSelected += int64(len(out))
@@ -328,12 +395,113 @@ func clusterTakenCounts(book *cluster.Book, clusters []int, positions []int) []i
 	return taken
 }
 
+// BeforeLayer implements attention.LayerAware: drain straggler prefetches
+// targeting *other* layers (issued for a layer whose Select then never ran —
+// full-attention steps), so no transfer ever outlives the layer sweep that
+// issued it out of order. The current layer's own prefetch is deliberately
+// left in flight: it keeps transferring through this layer's QKV
+// projections and is drained lazily by Select just before the exact fetch —
+// attention waits only if the transfer still hasn't landed by then.
+func (c *ClusterKV) BeforeLayer(layer int) {
+	if c.rt == nil || c.states == nil {
+		return
+	}
+	for l := 0; l < layer; l++ {
+		for h := 0; h < c.heads; h++ {
+			st := c.state(l, h)
+			if st.pending != nil {
+				st.pending.Wait()
+				st.pending = nil
+			}
+		}
+	}
+}
+
+// AfterLayer implements attention.LayerAware: the backstop issue point for
+// layer-ahead prefetch. Layers whose Select ran have already predicted the
+// next layer mid-attention (see issuePrefetch's caller in Select, the wider
+// overlap window); AfterLayer covers the layers where selection never fired —
+// bypass layers feeding the first selecting layer, and full-attention steps
+// — using the last query each head saw.
+func (c *ClusterKV) AfterLayer(layer int) {
+	if c.rt == nil || c.states == nil {
+		return
+	}
+	for h := 0; h < c.heads; h++ {
+		if cur := c.state(layer, h); len(cur.lastQ) > 0 {
+			c.issuePrefetch(layer+1, h, cur.lastQ, c.lastBudget)
+		}
+	}
+}
+
+// issuePrefetch runs the layer-ahead prediction for (next, head) at most
+// once per decode step: score layer next's centroid book against q — the
+// *current* layer's query; cross-layer query similarity makes it a good
+// proxy — take the predicted top clusters under the budget, and enqueue
+// their pages on the async channel. The transfer proceeds while the rest of
+// the current layer's attention/FFN and the next layer's projections
+// compute; BeforeLayer(next) waits out whatever is left. A misprediction
+// costs only modeled channel time: prefetched pages are unpinned hints that
+// capacity pressure may re-evict, never a correctness hazard.
+func (c *ClusterKV) issuePrefetch(next, head int, q []float32, budget int) {
+	if c.rt == nil || next >= c.layers || next < c.cfg.BypassLayers || budget <= 0 {
+		return
+	}
+	st := c.state(next, head)
+	if st.prefetchStep == c.step {
+		return // this (step, head) already predicted
+	}
+	st.prefetchStep = c.step
+	if st.book == nil || st.ledger == nil {
+		return
+	}
+	n := st.ledger.Len()
+	if budget >= n {
+		return // next layer will run full attention; nothing to fetch
+	}
+	cn := st.book.NumClusters()
+	if cn == 0 {
+		return
+	}
+	clusterBudget := budget - st.book.Start() - (n - st.pendingFrom)
+	if clusterBudget <= 0 {
+		return
+	}
+	if cap(st.scores) < cn {
+		st.scores = make([]float32, cn)
+	}
+	scores := st.scores[:cn]
+	c.stats.ScoreOps += st.book.ScoreClusters(scores, q)
+	_, positions := st.book.SelectTopClusters(scores, clusterBudget)
+	if len(positions) == 0 {
+		return
+	}
+	if st.pending != nil {
+		st.pending.Wait() // never stack prefetches on one head
+	}
+	st.pending = c.rt.Prefetch(st.ledger, positions)
+}
+
 // EndStep implements attention.Selector: advance the step counter and evict
 // cache entries older than CacheR steps, returning their clusters' tokens to
 // host residency.
 func (c *ClusterKV) EndStep() {
 	c.step++
 	c.stats.Steps++
+	for _, st := range c.states {
+		// Catch-all drain: a prefetch whose target layer never selected
+		// (e.g. the budget covered the whole context) must settle before
+		// this step's evictions, so residency stays deterministic.
+		if st.pending != nil {
+			st.pending.Wait()
+			st.pending = nil
+		}
+		if st.ledger != nil {
+			// Pins taken by this step's fetches expire; prefetch/capacity
+			// eviction may displace them from the next step on.
+			st.ledger.EndEpoch()
+		}
+	}
 	if c.cfg.CacheR < 0 {
 		return // negative R: infinite cache (ablation)
 	}

@@ -1,6 +1,10 @@
 package kvcache
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
 
 // Tier identifies where the simulated copy of a KV page resides.
 type Tier uint8
@@ -29,7 +33,22 @@ const (
 //   - Evict demotes every page containing an evicted position: reclaiming a
 //     page's device memory takes its co-located tokens with it — exactly the
 //     granularity cost block-based cache management pays.
+//
+// Concurrency: a Ledger is safe for concurrent use. The async transfer
+// runtime (TransferRuntime) promotes prefetched pages from a background
+// executor while the compute thread extends, fetches and evicts, so every
+// method takes the ledger lock. Pages promoted by a compute-side Fetch are
+// *pinned* for the current epoch (one decode step, advanced by EndEpoch):
+// capacity eviction — triggered when SetDeviceCap is set and a promotion
+// needs room — never evicts a pinned page, so a mispredicted prefetch can
+// never displace KV a concurrent Select just fetched for attention.
+//
+// The exported counter fields (HostToDevice, DeviceHits) are mutated under
+// the lock; read them directly only from quiescent single-threaded code
+// (tests, trace harnesses) and through Counters() when a runtime may be
+// servicing this ledger concurrently.
 type Ledger struct {
+	mu         sync.Mutex
 	pageTokens int
 	tiers      []Tier // one entry per page
 	n          int    // registered tokens
@@ -39,12 +58,36 @@ type Ledger struct {
 	// requested (cache hits).
 	DeviceHits int64
 
+	// lastUse is the per-page LRU stamp (bumped on fetch/prefetch/pin);
+	// pinEpoch marks the epoch a page was last pinned by a compute-side
+	// Fetch. A page is pinned while pinEpoch == epoch.
+	lastUse  []int64
+	pinEpoch []int64
+	epoch    int64
+	clock    int64
+
+	// prefetched marks pages promoted speculatively and not yet consumed by
+	// an exact fetch; the per-ledger prefetch counters feed TransferRuntime
+	// stats and tests. sink, when attached by a runtime, receives the same
+	// increments aggregated runtime-wide.
+	prefetched      []bool
+	prefetchedPages int64
+	prefetchHits    int64
+	prefetchDropped int64
+	sink            *xferCounters
+
+	// devCap caps device-resident pages (0 = unlimited); devPages is the
+	// current device-resident page count.
+	devCap   int
+	devPages int
+
 	// store, when bound, receives page-granular quantize/restore calls as
 	// residency changes: host-tier pages are stored quantized at quantBits.
 	store     *Store
 	quantBits int
 
-	scratch []int // page-dedup scratch reused across Fetch calls
+	scratch      []int // page-dedup scratch reused across Fetch calls
+	fetchScratch []int // page set scratch for inline runtime fetches (compute-thread-only)
 }
 
 // NewLedger returns a token-granular ledger (page size 1), the exact
@@ -57,7 +100,7 @@ func NewLedgerPaged(pageTokens int) *Ledger {
 	if pageTokens <= 0 {
 		panic("kvcache: non-positive ledger page size")
 	}
-	return &Ledger{pageTokens: pageTokens}
+	return &Ledger{pageTokens: pageTokens, epoch: 1}
 }
 
 // PageTokens returns the residency granularity in tokens.
@@ -67,19 +110,48 @@ func (l *Ledger) PageTokens() int { return l.pageTokens }
 // given bit width (2–8) and fetches restore (dequantize) them — the
 // simulated "quantized host tier" extension, off unless a selector or
 // experiment opts in. The store's page size must match the ledger's.
+//
+// A bound store pins transfer servicing to the caller's goroutine: the async
+// runtime services bound ledgers inline (see TransferRuntime), because store
+// page tables are not synchronised against the background executor.
 func (l *Ledger) Bind(s *Store, quantBits int) {
 	if s != nil && s.PageTokens() != l.pageTokens {
 		panic("kvcache: Bind page-size mismatch")
 	}
+	l.mu.Lock()
 	l.store = s
 	l.quantBits = quantBits
+	l.mu.Unlock()
+}
+
+// Bound reports whether a store is bound (quantized host tier active).
+func (l *Ledger) Bound() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.store != nil
+}
+
+// SetDeviceCap bounds the number of device-resident pages (0 = unlimited).
+// When a promotion would exceed the cap, the least-recently-used unpinned
+// device page is evicted to make room; pinned pages are never displaced.
+// Fresh tokens (Extend) and exact fetches may still push the count past the
+// cap when nothing is evictable — attention must be able to read what it
+// selected — while prefetches are dropped instead.
+func (l *Ledger) SetDeviceCap(pages int) {
+	l.mu.Lock()
+	l.devCap = pages
+	l.mu.Unlock()
 }
 
 // pageOf returns the page index of token position p.
 func (l *Ledger) pageOf(p int) int { return p / l.pageTokens }
 
 // NumPages returns the number of residency pages covering the tokens.
-func (l *Ledger) NumPages() int { return len(l.tiers) }
+func (l *Ledger) NumPages() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.tiers)
+}
 
 // Extend registers n new tokens at the given tier (tokens are created on the
 // device during prefill/decode, then typically offloaded). A page partially
@@ -90,24 +162,43 @@ func (l *Ledger) Extend(n int, t Tier) {
 	if n < 0 {
 		panic("kvcache: Extend with negative count")
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	prev := l.n
 	l.n += n
 	if n > 0 && prev%l.pageTokens != 0 && t == TierDevice {
 		// The boundary page was partially filled and gains fresh device rows.
-		l.tiers[len(l.tiers)-1] = TierDevice
+		last := len(l.tiers) - 1
+		if l.tiers[last] == TierHost {
+			l.tiers[last] = TierDevice
+			l.devPages++
+		}
 	}
 	want := (l.n + l.pageTokens - 1) / l.pageTokens
 	for len(l.tiers) < want {
 		l.tiers = append(l.tiers, t)
+		l.lastUse = append(l.lastUse, l.clock)
+		l.pinEpoch = append(l.pinEpoch, 0)
+		l.prefetched = append(l.prefetched, false)
+		l.clock++
+		if t == TierDevice {
+			l.devPages++
+		}
 	}
 }
 
 // Len returns the number of registered tokens.
-func (l *Ledger) Len() int { return l.n }
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
 
 // OffloadAll marks every page host-resident (the post-prefill offload of
 // Fig. 5, and the periodic decode-time offload every m steps).
 func (l *Ledger) OffloadAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for i := range l.tiers {
 		l.demote(i)
 	}
@@ -115,7 +206,15 @@ func (l *Ledger) OffloadAll() {
 
 // Offload marks the pages fully contained in token range [from, to) as
 // host-resident; partially covered boundary pages keep their device copy.
+// The interval must satisfy 0 <= from <= to <= Len(): a reversed or
+// out-of-range interval is a caller bug and panics rather than being
+// silently clamped.
 func (l *Ledger) Offload(from, to int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 0 || to > l.n || from > to {
+		panic(fmt.Sprintf("kvcache: Offload[%d, %d) invalid for ledger of %d tokens (need 0 <= from <= to <= len)", from, to, l.n))
+	}
 	first := (from + l.pageTokens - 1) / l.pageTokens // first fully covered
 	last := to / l.pageTokens                         // one past last fully covered
 	hi := min(last, len(l.tiers))
@@ -129,66 +228,247 @@ func (l *Ledger) Offload(from, to int) {
 	}
 }
 
+// PagesOf appends to dst the deduplicated, ascending page indices covering
+// the given token positions and returns it. It is how the transfer runtime
+// turns a selector's position set into a page-granular request.
+func (l *Ledger) PagesOf(positions []int, dst []int) []int {
+	dst = dst[:0]
+	for _, p := range positions {
+		dst = append(dst, l.pageOf(p))
+	}
+	sort.Ints(dst)
+	out := dst[:0]
+	last := -1
+	for _, pg := range dst {
+		if pg != last {
+			out = append(out, pg)
+			last = pg
+		}
+	}
+	return out
+}
+
 // Fetch requests the given token positions for attention. Every page holding
 // a requested position is promoted exactly once: host pages count as
-// transfers, device pages as hits. It returns the number of pages
-// transferred.
+// transfers, device pages as hits. Fetched pages are pinned for the current
+// epoch, so concurrent capacity eviction (a mispredicted prefetch making
+// room) can never displace them. It returns the number of pages transferred.
 func (l *Ledger) Fetch(positions []int) int {
-	moved := 0
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.scratch = l.pagesOfLocked(positions, l.scratch)
+	return l.fetchPagesLocked(l.scratch)
+}
+
+// FetchPages is Fetch over pre-computed page indices (deduplicated by the
+// caller, e.g. via PagesOf).
+func (l *Ledger) FetchPages(pages []int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fetchPagesLocked(pages)
+}
+
+func (l *Ledger) pagesOfLocked(positions []int, dst []int) []int {
+	dst = dst[:0]
 	if l.pageTokens == 1 {
-		// Token-granular fast path: one page per position, no dedup needed.
-		for _, p := range positions {
-			if l.tiers[p] == TierHost {
-				l.promote(p)
-				l.HostToDevice++
-				moved++
-			} else {
-				l.DeviceHits++
+		// Token-granular: one page per position; Fetch semantics count every
+		// position individually, so no dedup (positions are distinct by
+		// contract of the selector index sets).
+		return append(dst, positions...)
+	}
+	for _, p := range positions {
+		dst = append(dst, l.pageOf(p))
+	}
+	sort.Ints(dst)
+	out := dst[:0]
+	last := -1
+	for _, pg := range dst {
+		if pg != last {
+			out = append(out, pg)
+			last = pg
+		}
+	}
+	return out
+}
+
+func (l *Ledger) fetchPagesLocked(pages []int) int {
+	// Pre-pin the whole batch: capacity eviction triggered by promoting one
+	// page of this fetch must never pick a later page of the same fetch as
+	// its LRU victim (it would be counted resident, evicted, then
+	// re-transferred within a single call).
+	for _, pg := range pages {
+		l.pinEpoch[pg] = l.epoch
+	}
+	moved := 0
+	for _, pg := range pages {
+		if l.prefetched[pg] {
+			l.prefetched[pg] = false
+			if l.tiers[pg] == TierDevice {
+				l.prefetchHits++
+				if l.sink != nil {
+					l.sink.hits.Add(1)
+				}
 			}
 		}
-		return moved
-	}
-	l.scratch = l.scratch[:0]
-	for _, p := range positions {
-		l.scratch = append(l.scratch, l.pageOf(p))
-	}
-	sort.Ints(l.scratch)
-	last := -1
-	for _, pg := range l.scratch {
-		if pg == last {
-			continue
-		}
-		last = pg
 		if l.tiers[pg] == TierHost {
+			l.makeRoom()
 			l.promote(pg)
 			l.HostToDevice++
 			moved++
 		} else {
 			l.DeviceHits++
 		}
+		l.lastUse[pg] = l.clock
+		l.clock++
 	}
 	return moved
+}
+
+// PrefetchPages speculatively promotes the given pages (deduplicated,
+// ascending). Unlike Fetch it does not pin: a prefetched page is fair game
+// for capacity eviction until an exact fetch claims it. Under a device cap
+// with no evictable room the page is dropped (counted, not forced) — a
+// prefetch is a hint, never an obligation. Returns pages transferred.
+func (l *Ledger) PrefetchPages(pages []int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	moved := 0
+	for _, pg := range pages {
+		if pg < 0 || pg >= len(l.tiers) || l.tiers[pg] == TierDevice {
+			continue
+		}
+		if l.devCap > 0 && l.devPages >= l.devCap && !l.evictLRU() {
+			l.prefetchDropped++
+			if l.sink != nil {
+				l.sink.dropped.Add(1)
+			}
+			continue
+		}
+		l.promote(pg)
+		l.prefetched[pg] = true
+		l.prefetchedPages++
+		if l.sink != nil {
+			l.sink.issued.Add(1)
+		}
+		l.HostToDevice++
+		moved++
+		l.lastUse[pg] = l.clock
+		l.clock++
+	}
+	return moved
+}
+
+// setSink attaches the runtime-wide prefetch telemetry sink.
+func (l *Ledger) setSink(s *xferCounters) {
+	l.mu.Lock()
+	l.sink = s
+	l.mu.Unlock()
+}
+
+// pagesForFetch computes the page set of a fetch into a reusable scratch.
+// It is owned by the sequence's compute goroutine — the only issuer of
+// exact fetches, which are serviced inline before the next call — and must
+// not be used for async requests, whose page slices outlive the call.
+func (l *Ledger) pagesForFetch(positions []int) []int {
+	l.fetchScratch = l.PagesOf(positions, l.fetchScratch)
+	return l.fetchScratch
+}
+
+// makeRoom evicts LRU unpinned pages until the device cap admits one more
+// page. Exact fetches proceed even when nothing is evictable (attention must
+// read what it selected); the overflow shows up in DevicePages.
+func (l *Ledger) makeRoom() {
+	for l.devCap > 0 && l.devPages >= l.devCap {
+		if !l.evictLRU() {
+			return
+		}
+	}
+}
+
+// evictLRU demotes the least-recently-used unpinned device page, reporting
+// whether one was found. Pinned pages (fetched this epoch) are never chosen.
+func (l *Ledger) evictLRU() bool {
+	victim := -1
+	for pg := range l.tiers {
+		if l.tiers[pg] != TierDevice || l.pinEpoch[pg] == l.epoch {
+			continue
+		}
+		if victim < 0 || l.lastUse[pg] < l.lastUse[victim] {
+			victim = pg
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	l.demote(victim)
+	return true
 }
 
 // Evict marks every page containing one of the positions host-resident
 // without counting a transfer (device memory reclaimed; the host copy was
 // never deleted).
 func (l *Ledger) Evict(positions []int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, p := range positions {
 		l.demote(l.pageOf(p))
 	}
 }
 
+// EndEpoch advances the pin epoch: pages pinned by this epoch's fetches
+// become evictable again. Selectors call it once per decode step.
+func (l *Ledger) EndEpoch() {
+	l.mu.Lock()
+	l.epoch++
+	l.mu.Unlock()
+}
+
 // TierOf reports the current tier of token p (the tier of its page).
-func (l *Ledger) TierOf(p int) Tier { return l.tiers[l.pageOf(p)] }
+func (l *Ledger) TierOf(p int) Tier {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tiers[l.pageOf(p)]
+}
+
+// DevicePages returns the number of device-resident pages.
+func (l *Ledger) DevicePages() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.devPages
+}
+
+// Counters returns the transfer counters under the lock — the concurrent-
+// safe way to read HostToDevice/DeviceHits while a runtime is attached.
+func (l *Ledger) Counters() (hostToDevice, deviceHits int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.HostToDevice, l.DeviceHits
+}
+
+// PrefetchCounters returns (pages prefetched, prefetched pages consumed by a
+// later fetch while device-resident, prefetch pages dropped for lack of
+// evictable room).
+func (l *Ledger) PrefetchCounters() (issued, hits, dropped int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.prefetchedPages, l.prefetchHits, l.prefetchDropped
+}
 
 // ResetCounters zeroes the transfer counters, keeping residency state.
 func (l *Ledger) ResetCounters() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.HostToDevice = 0
 	l.DeviceHits = 0
+	l.prefetchedPages = 0
+	l.prefetchHits = 0
+	l.prefetchDropped = 0
 }
 
 func (l *Ledger) promote(pg int) {
+	if l.tiers[pg] == TierHost {
+		l.devPages++
+	}
 	l.tiers[pg] = TierDevice
 	if l.store != nil && pg < l.store.NumPages() && l.store.PageQuantized(pg) {
 		// Dequantize-on-fetch: touching the page restores float storage.
@@ -197,7 +477,11 @@ func (l *Ledger) promote(pg int) {
 }
 
 func (l *Ledger) demote(pg int) {
+	if l.tiers[pg] == TierDevice {
+		l.devPages--
+	}
 	l.tiers[pg] = TierHost
+	l.prefetched[pg] = false
 	if l.store != nil && pg < l.store.NumPages() {
 		l.store.QuantizePage(pg, l.quantBits)
 	}

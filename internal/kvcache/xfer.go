@@ -1,0 +1,328 @@
+// Async tiered-KV transfer runtime: a background executor servicing
+// page-granular fetch/offload requests against a modeled PCIe channel,
+// returning futures that attention waits on only if the transfer hasn't
+// landed yet.
+//
+// The data plane of this reproduction always lives in process memory, so a
+// "transfer" moves simulated residency (Ledger tiers, plus dequantization
+// for a bound quantized host tier) and charges modeled channel time. What
+// the runtime adds over the synchronous Ledger calls is *when* that happens:
+// requests are enqueued while compute proceeds, a background worker applies
+// them (fanning batches out on the shared intra-op pool), and Wait exposes
+// only the modeled time that did not fit behind compute. Transfers change
+// when data moves, never what attention reads — token streams are identical
+// with the runtime on, off, or forced synchronous.
+package kvcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clusterkv/internal/metrics"
+	"clusterkv/internal/parallel"
+)
+
+// Channel models the simulated host↔device link transfers are scheduled on.
+type Channel struct {
+	// SecPerPage is the modeled seconds to move one (layer, head) KV page
+	// (both K and V rows). <= 0 makes transfers free (pure bookkeeping).
+	SecPerPage float64
+}
+
+// TransferRuntime schedules page-granular KV transfers on one modeled
+// channel. One runtime serves a whole engine: every sequence's ledger
+// enqueues into the same FIFO, so concurrent tenants contend for the modeled
+// PCIe link exactly like they would for the real one.
+//
+// Modes:
+//   - async (default): requests are serviced by a background worker; Wait
+//     blocks only for servicing plus whatever modeled time is still left on
+//     the channel clock (the *exposed* time).
+//   - sync (NewTransferRuntime with sync=true): requests are serviced inline
+//     on the caller and their full modeled time is exposed — the baseline
+//     the overlap experiment compares against.
+//
+// A runtime is safe for concurrent use.
+type TransferRuntime struct {
+	ch       Channel
+	syncMode bool
+	throttle bool
+
+	reqs   chan *Transfer
+	exited chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	chanFree time.Time // when the modeled channel next goes idle
+
+	transfers  int64
+	pages      int64
+	busySec    float64
+	exposedSec float64
+
+	// pf aggregates prefetch telemetry across every ledger this runtime has
+	// serviced; ledgers increment it directly (atomics — the ledger lock is
+	// held when they fire, so no lock ordering with rt.mu).
+	pf xferCounters
+}
+
+// xferCounters is the runtime-wide prefetch telemetry sink ledgers feed.
+type xferCounters struct {
+	issued  atomic.Int64
+	hits    atomic.Int64
+	dropped atomic.Int64
+}
+
+// Transfer is the future of one enqueued request. Wait blocks until the
+// request has been serviced and its modeled channel time has been accounted;
+// a nil *Transfer is valid and waits for nothing.
+type Transfer struct {
+	rt       *TransferRuntime
+	ledger   *Ledger
+	pages    []int
+	prefetch bool
+	acctOnly int // accounting-only page count (offload/spill), no ledger work
+
+	ready    chan struct{} // nil for inline-serviced transfers (done on creation)
+	deadline time.Time
+	modeled  float64
+	moved    int
+
+	waited atomic.Bool
+}
+
+// NewTransferRuntime returns a runtime on the given channel. sync forces
+// inline servicing (every request fully exposed); throttle makes Wait
+// actually sleep out the exposed residue, so wall-clock throughput reflects
+// the modeled channel (experiments opt in; servers usually leave it off and
+// read the overlap telemetry instead).
+func NewTransferRuntime(ch Channel, sync, throttle bool) *TransferRuntime {
+	rt := &TransferRuntime{ch: ch, syncMode: sync, throttle: throttle}
+	if !sync {
+		rt.reqs = make(chan *Transfer, 256)
+		rt.exited = make(chan struct{})
+		go rt.worker()
+	}
+	return rt
+}
+
+// Sync reports whether the runtime services requests inline.
+func (rt *TransferRuntime) Sync() bool { return rt.syncMode }
+
+// Close stops the background worker after draining queued requests. Requests
+// enqueued after Close are serviced inline; Close is idempotent.
+func (rt *TransferRuntime) Close() {
+	if rt.reqs == nil {
+		return
+	}
+	rt.mu.Lock()
+	already := rt.closed
+	rt.closed = true
+	rt.mu.Unlock()
+	if !already {
+		close(rt.reqs)
+	}
+	<-rt.exited
+}
+
+// Fetch schedules an exact fetch of the pages covering positions in l,
+// pinning them for l's current epoch. The caller must Wait the returned
+// Transfer before reading the fetched KV (attention blocks only if the
+// transfer hasn't landed). Fetches are serviced inline on the caller: the
+// very next statement waits them anyway, so a background hand-off would buy
+// nothing but wakeup latency — the modeled channel accounting (FIFO deadline
+// against chanFree) is identical either way. Being inline, the transfer
+// needs no ready channel and reuses the ledger's page scratch: the hot
+// decode path allocates nothing here.
+func (rt *TransferRuntime) Fetch(l *Ledger, positions []int) *Transfer {
+	l.setSink(&rt.pf)
+	t := &Transfer{rt: rt, ledger: l, pages: l.pagesForFetch(positions)}
+	rt.service([]*Transfer{t})
+	return t
+}
+
+// Prefetch enqueues a speculative promotion of the pages covering positions
+// (layer-ahead prefetch). Prefetched pages are unpinned hints: capacity
+// pressure may re-evict them, and a wrong prediction costs only channel
+// time. The returned Transfer should be waited before the layer's exact
+// Select runs, so residency the selector observes is deterministic.
+func (rt *TransferRuntime) Prefetch(l *Ledger, positions []int) *Transfer {
+	l.setSink(&rt.pf)
+	t := &Transfer{rt: rt, ledger: l, pages: l.PagesOf(positions, nil), prefetch: true, ready: make(chan struct{})}
+	rt.enqueue(t)
+	return t
+}
+
+// AccountPages charges the channel for moving n pages without touching any
+// ledger — the device→host direction (post-prefill offloads, engine spills),
+// which consumes link time but nobody waits on. Fire-and-forget.
+func (rt *TransferRuntime) AccountPages(n int) *Transfer {
+	if n <= 0 {
+		return nil
+	}
+	t := &Transfer{rt: rt, acctOnly: n, ready: make(chan struct{})}
+	rt.enqueue(t)
+	return t
+}
+
+// Stats returns a snapshot of the runtime's overlap telemetry, including
+// prefetch counters aggregated across every ledger the runtime has serviced
+// (per-ledger figures remain available via Ledger.PrefetchCounters).
+func (rt *TransferRuntime) Stats() metrics.Overlap {
+	rt.mu.Lock()
+	o := metrics.Overlap{
+		Transfers:  rt.transfers,
+		Pages:      rt.pages,
+		BusySec:    rt.busySec,
+		ExposedSec: rt.exposedSec,
+	}
+	rt.mu.Unlock()
+	o.PrefetchedPages = rt.pf.issued.Load()
+	o.PrefetchHits = rt.pf.hits.Load()
+	o.PrefetchDropped = rt.pf.dropped.Load()
+	return o
+}
+
+// enqueue hands t to the worker, falling back to inline servicing in sync
+// mode, after Close, or when the queue is full (backpressure degrades to the
+// synchronous path instead of blocking the compute thread indefinitely).
+func (rt *TransferRuntime) enqueue(t *Transfer) {
+	// A ledger with a bound store (quantized host tier) is serviced inline:
+	// dequantize-on-fetch walks the store's page table, which is owned by the
+	// compute goroutine and not synchronised against the background worker.
+	if !rt.syncMode && (t.ledger == nil || !t.ledger.Bound()) {
+		rt.mu.Lock()
+		if !rt.closed {
+			select {
+			case rt.reqs <- t:
+				rt.mu.Unlock()
+				return
+			default:
+			}
+		}
+		rt.mu.Unlock()
+	}
+	rt.service([]*Transfer{t})
+}
+
+// worker drains the queue in arrival order, servicing whatever batch has
+// accumulated since the last pass in one go.
+func (rt *TransferRuntime) worker() {
+	defer close(rt.exited)
+	for t := range rt.reqs {
+		batch := []*Transfer{t}
+	drain:
+		for {
+			select {
+			case t2, ok := <-rt.reqs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, t2)
+			default:
+				break drain
+			}
+		}
+		rt.service(batch)
+	}
+}
+
+// service applies a batch: ledger promotions fan out on the shared intra-op
+// pool (disjoint ledgers, per-ledger locks), then channel time is accounted
+// serially in FIFO order so the modeled link stays a single serialized
+// resource.
+func (rt *TransferRuntime) service(batch []*Transfer) {
+	apply := func(t *Transfer) {
+		switch {
+		case t.acctOnly > 0:
+			t.moved = t.acctOnly
+		case t.prefetch:
+			t.moved = t.ledger.PrefetchPages(t.pages)
+		default:
+			t.moved = t.ledger.FetchPages(t.pages)
+		}
+	}
+	if len(batch) == 1 {
+		apply(batch[0])
+	} else {
+		parallel.Default().For(len(batch), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				apply(batch[i])
+			}
+		})
+	}
+	now := time.Now()
+	rt.mu.Lock()
+	for _, t := range batch {
+		dur := float64(t.moved) * rt.ch.SecPerPage
+		if dur < 0 {
+			dur = 0
+		}
+		start := now
+		if rt.chanFree.After(start) {
+			start = rt.chanFree
+		}
+		t.modeled = dur
+		t.deadline = start.Add(time.Duration(dur * float64(time.Second)))
+		rt.chanFree = t.deadline
+		rt.transfers++
+		rt.pages += int64(t.moved)
+		rt.busySec += dur
+		if rt.syncMode {
+			// The synchronous baseline exposes every modeled second by
+			// definition; Wait then only sleeps (throttle) without
+			// re-measuring, so wall time between service and Wait can never
+			// masquerade as overlap.
+			rt.exposedSec += dur
+		}
+	}
+	rt.mu.Unlock()
+	for _, t := range batch {
+		if t.ready != nil {
+			close(t.ready)
+		}
+	}
+}
+
+// Wait blocks until the transfer has been serviced, then accounts (and, with
+// throttling, sleeps out) the modeled time still outstanding on the channel
+// clock — the exposed portion; everything that elapsed while compute ran is
+// hidden. Waiting a nil or already-waited Transfer is a no-op.
+func (t *Transfer) Wait() {
+	if t == nil {
+		return
+	}
+	if t.ready != nil {
+		<-t.ready
+	}
+	if !t.waited.CompareAndSwap(false, true) {
+		return
+	}
+	residue := time.Until(t.deadline)
+	if residue <= 0 {
+		return
+	}
+	rt := t.rt
+	if !rt.syncMode {
+		exposed := residue.Seconds()
+		if exposed > t.modeled {
+			exposed = t.modeled
+		}
+		rt.mu.Lock()
+		rt.exposedSec += exposed
+		rt.mu.Unlock()
+	}
+	if rt.throttle {
+		time.Sleep(residue)
+	}
+}
+
+// Pages returns how many pages the serviced transfer actually moved (valid
+// after Wait).
+func (t *Transfer) Pages() int {
+	if t == nil {
+		return 0
+	}
+	return t.moved
+}

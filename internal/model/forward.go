@@ -120,7 +120,8 @@ func silu(x float32) float32 {
 // its position counter. Create with Model.NewSequence.
 type Sequence struct {
 	m      *Model
-	sel    attention.Selector // nil = always full attention
+	sel    attention.Selector   // nil = always full attention
+	la     attention.LayerAware // sel's layer hooks, nil when not implemented
 	budget int
 	stores []*kvcache.Store // layer*NKVHeads + kvHead
 	pos    int
@@ -165,6 +166,7 @@ func (m *Model) NewSequenceIn(a *kvcache.Arena, sel attention.Selector, budget i
 	}
 	if sel != nil {
 		sel.Reset(cfg.NLayers, cfg.NKVHeads, cfg.HeadDim)
+		s.la, _ = sel.(attention.LayerAware)
 	}
 	s.hidden = make([]float32, cfg.DModel)
 	s.normed = make([]float32, cfg.DModel)
@@ -264,6 +266,9 @@ func (s *Sequence) Prefill(tokens []int, wantLogits []float32) []float32 {
 	vall := tensor.NewMat(n, kvdim)
 
 	for l := 0; l < cfg.NLayers; l++ {
+		if s.la != nil {
+			s.la.BeforeLayer(l)
+		}
 		lw := &w.layers[l]
 		// Pre-attention norms, row-parallel.
 		pool.For(n, 16, func(lo, hi int) {
@@ -322,6 +327,9 @@ func (s *Sequence) Prefill(tokens []int, wantLogits []float32) []float32 {
 				ffnBlock(h, lw, sc.normed, sc.ffnGate, sc.ffnUp)
 			}
 		})
+		if s.la != nil {
+			s.la.AfterLayer(l)
+		}
 	}
 	s.pos += n
 
@@ -456,6 +464,9 @@ func (s *Sequence) DecodeInto(token int, logits []float32) {
 	group := cfg.GroupSize()
 
 	for l := 0; l < cfg.NLayers; l++ {
+		if s.la != nil {
+			s.la.BeforeLayer(l)
+		}
 		lw := &w.layers[l]
 		rmsNorm(s.normed, s.hidden, lw.attnNorm)
 		tensor.MatTVec(s.qbuf, lw.wq, s.normed)
@@ -501,6 +512,9 @@ func (s *Sequence) DecodeInto(token int, logits []float32) {
 		}
 		addProjected(s.hidden, lw.wo, s.attnOut, s.normed)
 		s.ffn(s.hidden, lw)
+		if s.la != nil {
+			s.la.AfterLayer(l)
+		}
 	}
 	if s.sel != nil {
 		s.sel.EndStep()

@@ -1,0 +1,81 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+
+	"clusterkv/internal/attention"
+	"clusterkv/internal/kvcache"
+)
+
+// hookRecorder is a full-attention selector that records the layer-hook call
+// order interleaved with selector callbacks.
+type hookRecorder struct {
+	log    []string
+	layers int
+}
+
+func (r *hookRecorder) Name() string                         { return "hookRecorder" }
+func (r *hookRecorder) Reset(layers, heads, d int)           { r.layers = layers }
+func (r *hookRecorder) OnPrefill(l, h int, s *kvcache.Store) {}
+func (r *hookRecorder) OnAppend(l, h int, s *kvcache.Store)  {}
+func (r *hookRecorder) Select(l, h int, q []float32, s *kvcache.Store, budget int) []int {
+	return nil
+}
+func (r *hookRecorder) EndStep()                  { r.log = append(r.log, "end") }
+func (r *hookRecorder) Stats() attention.SelStats { return attention.SelStats{} }
+func (r *hookRecorder) BeforeLayer(l int)         { r.log = append(r.log, fmt.Sprintf("B%d", l)) }
+func (r *hookRecorder) AfterLayer(l int)          { r.log = append(r.log, fmt.Sprintf("A%d", l)) }
+
+// TestLayerHooksBracketEveryLayer locks the forward-loop hook contract: both
+// Prefill and Decode bracket each layer's computation with BeforeLayer and
+// AfterLayer, in layer order, and EndStep follows the last layer of a decode
+// step.
+func TestLayerHooksBracketEveryLayer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NLayers = 3
+	cfg.VocabSize = 64
+	cfg.NTopics = 8
+	m := New(cfg)
+	rec := &hookRecorder{}
+	seq := m.NewSequence(rec, 0)
+	seq.Prefill([]int{1, 2, 3, 4}, nil)
+
+	want := []string{"B0", "A0", "B1", "A1", "B2", "A2"}
+	if len(rec.log) != len(want) {
+		t.Fatalf("prefill hook log %v, want %v", rec.log, want)
+	}
+	for i := range want {
+		if rec.log[i] != want[i] {
+			t.Fatalf("prefill hook log %v, want %v", rec.log, want)
+		}
+	}
+
+	rec.log = nil
+	seq.Decode(5)
+	want = []string{"B0", "A0", "B1", "A1", "B2", "A2", "end"}
+	if len(rec.log) != len(want) {
+		t.Fatalf("decode hook log %v, want %v", rec.log, want)
+	}
+	for i := range want {
+		if rec.log[i] != want[i] {
+			t.Fatalf("decode hook log %v, want %v", rec.log, want)
+		}
+	}
+}
+
+// TestLayerHooksOptional: a selector without the LayerAware extension runs
+// exactly as before (no hook dispatch), locking backward compatibility.
+func TestLayerHooksOptional(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NLayers = 2
+	cfg.VocabSize = 64
+	cfg.NTopics = 8
+	m := New(cfg)
+	seq := m.NewSequence(nil, 0)
+	seq.Prefill([]int{1, 2, 3}, nil)
+	logits := seq.Decode(4)
+	if len(logits) != cfg.VocabSize {
+		t.Fatalf("logits len %d", len(logits))
+	}
+}

@@ -44,6 +44,18 @@ func (s *Sequence) Snapshot() *Snapshot {
 // Len returns the number of tokens captured in the snapshot.
 func (snap *Snapshot) Len() int { return snap.pos }
 
+// NumPages returns the total page count across the snapshot's stores (the
+// slots an engine charges a cached prefix for, before fork deduplication).
+// Serving engines use it to treat idle cached prefixes as spillable cold
+// state under two-tier accounting.
+func (snap *Snapshot) NumPages() int64 {
+	var n int64
+	for _, st := range snap.stores {
+		n += int64(st.NumPages())
+	}
+	return n
+}
+
 // NewSequenceFrom creates a sequence that continues from a snapshot taken on
 // a sequence of this model. The new sequence shares the snapshot's KV prefix
 // zero-copy and appends independently. The selector is Reset but has seen

@@ -57,7 +57,8 @@ func loadRequests(t *testing.T) []Request {
 
 // runEngineAt runs the full load on a fresh engine with GOMAXPROCS and the
 // shared intra-op pool both set to procs, restoring global state afterwards.
-func runEngineAt(t *testing.T, procs, engineWorkers int, reqs []Request) engineRunFingerprint {
+// Optional mutators adjust the engine config before it starts.
+func runEngineAt(t *testing.T, procs, engineWorkers int, reqs []Request, mutate ...func(*Config)) engineRunFingerprint {
 	t.Helper()
 	oldProcs := runtime.GOMAXPROCS(procs)
 	pool := parallel.NewPool(procs)
@@ -68,7 +69,11 @@ func runEngineAt(t *testing.T, procs, engineWorkers int, reqs []Request) engineR
 		pool.Close()
 	}()
 
-	eng := NewEngine(testModel(), Config{Workers: engineWorkers, MaxBatch: 4, KVBudget: 2048, Seed: 7})
+	cfg := Config{Workers: engineWorkers, MaxBatch: 4, KVBudget: 2048, Seed: 7}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	eng := NewEngine(testModel(), cfg)
 	resps := eng.Run(reqs)
 	eng.Close()
 
@@ -165,6 +170,57 @@ func TestEngineDeterminismAcrossGOMAXPROCS(t *testing.T) {
 		got := runEngineAt(t, tc.procs, tc.workers, reqs)
 		if d := base.diff(got); d != "" {
 			t.Fatalf("%s: run differs from GOMAXPROCS=1 baseline: %s", tc.name, d)
+		}
+	}
+}
+
+// TestEngineDeterminismAsyncVsSyncTransfers locks the async transfer
+// runtime's core guarantee: the engine produces identical token streams,
+// identical scheduling rounds and identical wall-clock-independent metrics
+// whether transfers are asynchronous (default, layer-ahead prefetch
+// overlapped with compute) or forced fully synchronous — transfers change
+// when simulated KV moves, never what attention reads. Also exercised at
+// full parallelism so the background transfer worker runs against concurrent
+// engine workers.
+func TestEngineDeterminismAsyncVsSyncTransfers(t *testing.T) {
+	reqs := loadRequests(t)
+	syncMode := func(c *Config) { c.SyncTransfers = true }
+	base := runEngineAt(t, 1, 1, reqs, syncMode)
+	if base.completed != uint64(len(reqs)) || base.failed != 0 {
+		t.Fatalf("sync baseline: %d completed, %d failed", base.completed, base.failed)
+	}
+	cases := []struct {
+		name           string
+		procs, workers int
+		mutate         []func(*Config)
+	}{
+		{"async/serial", 1, 1, nil},
+		{"async/parallel", runtime.NumCPU(), runtime.NumCPU(), nil},
+		{"sync/parallel", runtime.NumCPU(), runtime.NumCPU(), []func(*Config){syncMode}},
+		{"async/two-tier", runtime.NumCPU(), runtime.NumCPU(),
+			[]func(*Config){func(c *Config) { c.KVBudget = 512; c.HostBudget = 4096 }}},
+		{"sync/two-tier", 1, 1,
+			[]func(*Config){func(c *Config) { c.KVBudget = 512; c.HostBudget = 4096; c.SyncTransfers = true }}},
+	}
+	var tiered *engineRunFingerprint
+	for _, tc := range cases {
+		got := runEngineAt(t, tc.procs, tc.workers, reqs, tc.mutate...)
+		if len(tc.mutate) > 0 && tc.name != "sync/parallel" {
+			// The two-tier budget legitimately changes scheduling vs the
+			// unbudgeted baseline; those two runs must instead match each
+			// other exactly.
+			if tiered == nil {
+				g := got
+				tiered = &g
+				continue
+			}
+			if d := tiered.diff(got); d != "" {
+				t.Fatalf("%s: two-tier async vs sync differ: %s", tc.name, d)
+			}
+			continue
+		}
+		if d := base.diff(got); d != "" {
+			t.Fatalf("%s: differs from synchronous baseline: %s", tc.name, d)
 		}
 	}
 }

@@ -4,12 +4,14 @@ import (
 	"context"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"clusterkv/internal/attention"
 	"clusterkv/internal/kvcache"
+	"clusterkv/internal/memsim"
 	"clusterkv/internal/model"
 	"clusterkv/internal/parallel"
 	"clusterkv/internal/rng"
@@ -43,6 +45,30 @@ type Config struct {
 	// WorstCaseAdmission it meters up-front worst-case reservations as the
 	// pre-paged engine did.
 	KVBudget int64
+	// HostBudget, when > 0 (exact accounting only), enables two-tier
+	// admission: KVBudget is the *device* capacity, HostBudget the host-tier
+	// capacity (same per-head token-slot units), and requests are admitted
+	// when device + host together can hold them. Between rounds the engine
+	// spills cold pages — slots beyond budgeted sequences' device working
+	// sets, LRU by the round they last spilled — to the host tier, keeping
+	// round-barrier device residency at or under KVBudget. This is what lets
+	// the engine serve loads whose total KV footprint exceeds the device
+	// budget. 0 keeps single-tier admission.
+	HostBudget int64
+	// SyncTransfers forces the synchronous transfer path: every simulated KV
+	// fetch blocks for its full modeled channel time instead of overlapping
+	// with compute. Kept for comparison (the overlap experiment) — token
+	// streams and scheduling are identical either way.
+	SyncTransfers bool
+	// ThrottleTransfers makes transfer waits actually sleep out their
+	// exposed modeled time, so wall-clock throughput reflects the modeled
+	// PCIe channel. Off by default: servers usually want the overlap
+	// telemetry (Metrics.Transfer) without the artificial slowdown.
+	ThrottleTransfers bool
+	// XferSecPerPage overrides the modeled seconds to move one (layer, head)
+	// KV page on the transfer channel. 0 derives it from the paper GPU's
+	// PCIe bandwidth (memsim.AdaRTX6000) and the model's page byte size.
+	XferSecPerPage float64
 	// PageTokens sets the engine arena's page size in tokens
 	// (default kvcache.DefaultPageTokens).
 	PageTokens int
@@ -84,6 +110,9 @@ type Engine struct {
 	// units by dividing back out.
 	planes int64
 	exact  bool
+	// rt is the engine-wide async transfer runtime: every RuntimeAware
+	// selector's simulated KV movement shares this one modeled PCIe channel.
+	rt *kvcache.TransferRuntime
 
 	intake chan []*task
 
@@ -111,6 +140,11 @@ type task struct {
 	entry    *prefixEntry // non-nil when sharing a prefix
 	builder  bool         // this task builds entry's snapshot
 	reserved int64
+	// spilled is the raw slot count currently accounted host-resident for
+	// this task; coldRound is the round it last spilled (LRU order for the
+	// next spill pass). Touched only by the scheduler between rounds.
+	spilled   int64
+	coldRound int64
 
 	// decode state (touched only by the worker running this task's step)
 	seq       *model.Sequence
@@ -133,6 +167,10 @@ type prefixEntry struct {
 	cost     int64
 	refs     int   // active tasks forked from (or building) this entry
 	lastUsed int64 // round of last use, for LRU eviction under pressure
+	// spilled is the raw slot count of this entry's pages accounted
+	// host-resident (two-tier mode): a cached prefix nobody is decoding from
+	// is the coldest state the engine holds.
+	spilled int64
 }
 
 // NewEngine starts an engine. Callers must Close (or Shutdown) it.
@@ -164,15 +202,33 @@ func NewEngine(m *model.Model, cfg Config) *Engine {
 		if capacity > 0 {
 			capacity *= planes
 		}
-		e.acct = kvcache.NewAccountant(capacity)
+		hostCap := cfg.HostBudget
+		if hostCap > 0 && capacity > 0 {
+			hostCap *= planes
+		} else {
+			hostCap = 0 // host tier needs a finite device budget to tier against
+		}
+		e.acct = kvcache.NewTieredAccountant(capacity, hostCap)
 		e.arena = kvcache.NewArena(cfg.PageTokens, e.acct)
 	} else {
+		// Worst-case reservations predate the paged arena; they stay
+		// single-tier (HostBudget is ignored).
 		e.acct = kvcache.NewAccountant(cfg.KVBudget)
 		e.arena = kvcache.NewArena(cfg.PageTokens, nil)
 	}
+	secPerPage := cfg.XferSecPerPage
+	if secPerPage <= 0 {
+		secPerPage = memsim.AdaRTX6000().SecPerKVPage(mc.HeadDim, cfg.PageTokens)
+	}
+	e.rt = kvcache.NewTransferRuntime(kvcache.Channel{SecPerPage: secPerPage},
+		cfg.SyncTransfers, cfg.ThrottleTransfers)
 	go e.loop()
 	return e
 }
+
+// TransferRuntime exposes the engine's async transfer runtime (read-only use
+// intended: overlap gauges for tests and experiments).
+func (e *Engine) TransferRuntime() *kvcache.TransferRuntime { return e.rt }
 
 // Arena exposes the engine's page arena (read-only use intended: gauges for
 // tests and the pagedkv experiment).
@@ -308,6 +364,7 @@ func (e *Engine) closeIntake() {
 // retires finished streams so the next round can admit replacements.
 func (e *Engine) loop() {
 	defer close(e.done)
+	defer e.rt.Close()
 	var (
 		pending  []*task
 		active   []*task
@@ -378,12 +435,17 @@ func (e *Engine) loop() {
 		}
 
 		e.runRound(active)
+		// Two-tier residency: spill cold pages host-ward before sampling, so
+		// the device gauge reflects the post-round steady state the budget
+		// promises. Spill decisions depend only on round-deterministic state
+		// (page counts, budgets, rounds), never on wall clock.
+		e.spillCold(active, prefixes, round)
 		// High-water sampling at the round barrier: within a round only
 		// workers allocate (frees happen on this goroutine between rounds),
 		// so the end-of-round gauge is the round's deterministic maximum —
 		// unlike the accountant's internal peak, which can catch transient
 		// COW release/alloc interleavings in either order.
-		e.mx.observeKV(e.acct.Used())
+		e.mx.observeKV(e.acct.Used(), e.acct.DeviceUsed(), e.acct.HostUsed())
 
 		// Post-round: publish built prefixes, retire finished tasks. A
 		// builder that failed before its snapshot existed unpublishes the
@@ -497,7 +559,10 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 		granted = e.acct.TryReserve(need)
 	}
 	if !granted {
-		if cap := e.acct.Capacity(); cap > 0 && need > cap {
+		// A request too large for the *combined* device + host capacity can
+		// never be admitted; anything smaller waits for retirements (and,
+		// with a host tier, for spills) to free room.
+		if cap := e.acct.TotalCapacity(); cap > 0 && need > cap {
 			e.retire(t, round, ErrTooLarge)
 			return admitFailed
 		}
@@ -590,6 +655,9 @@ func (e *Engine) releaseEntry(p *prefixEntry) {
 		e.acct.Release(p.cost)
 		p.cost = 0
 	}
+	// Host-accounted slots stay host-side (Release clamps them to the live
+	// total); the rebalance pass promotes survivors back as headroom allows.
+	p.spilled = 0
 	if p.snap != nil {
 		p.snap.Release()
 		p.snap = nil
@@ -625,6 +693,201 @@ func (e *Engine) runRound(active []*task) {
 	})
 }
 
+// spillCold is the between-rounds tiering pass of two-tier admission,
+// rebalancing the accountant toward the device budget in both directions.
+// While device residency exceeds the budget, cold slots of active budgeted
+// sequences are re-accounted host-resident, oldest spill first (LRU by
+// coldRound, task id as the deterministic tiebreak). "Cold" means pages
+// beyond the sequence's device working set — a budgeted selector keeps at
+// most Budget tokens (plus the decode tail's page) hot per head; everything
+// else already lives host-side in its own residency ledger, so the spill is
+// pure accounting plus modeled device→host channel time. When retirements
+// open device headroom instead, previously spilled slots are promoted back
+// (most recent spill first, so long-cold pages stay host). Runs only on the
+// scheduler goroutine at the round barrier (workers are quiescent), on
+// round-deterministic state.
+func (e *Engine) spillCold(active []*task, prefixes map[uint64]*prefixEntry, round int64) {
+	if !e.exact || e.acct.HostCapacity() <= 0 {
+		return
+	}
+	devCap := e.acct.Capacity()
+	if devCap <= 0 {
+		return
+	}
+	P := int64(e.arena.PageTokens())
+	excess := e.acct.DeviceUsed() - devCap
+	if excess <= 0 {
+		if headroom := -excess; headroom > 0 {
+			e.promoteSpilled(active, prefixes, headroom, P)
+		}
+		return
+	}
+	// Idle cached prefixes spill first: a snapshot nobody decodes from has
+	// no hot working set at all (its pages are read again only on the next
+	// prefix hit, which pays a fetch either way). Entries with live forks
+	// are skipped — their pages are claimed, hot floor included, through the
+	// forks' own cold accounting below. Oldest use first, deterministic.
+	entries := make([]*prefixEntry, 0, len(prefixes))
+	for _, p := range prefixes {
+		if p.ready && p.snap != nil && p.refs == 0 {
+			entries = append(entries, p)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].lastUsed != entries[j].lastUsed {
+			return entries[i].lastUsed < entries[j].lastUsed
+		}
+		return entries[i].key < entries[j].key
+	})
+	for _, p := range entries {
+		if excess <= 0 {
+			break
+		}
+		cold := p.snap.NumPages()*P - p.spilled
+		if cold <= 0 {
+			continue
+		}
+		d := cold
+		if d > excess {
+			d = excess
+		}
+		e.acct.MoveToHost(d)
+		p.spilled += d
+		excess -= d
+		e.mx.spilled.Add(d)
+		e.rt.AccountPages(int((d + P - 1) / P))
+	}
+	cands := make([]*task, 0, len(active))
+	for _, t := range active {
+		if t.seq != nil && t.req.Budget > 0 && t.req.NewSelector != nil {
+			cands = append(cands, t)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].coldRound != cands[j].coldRound {
+			return cands[i].coldRound < cands[j].coldRound
+		}
+		return cands[i].id < cands[j].id
+	})
+	for _, t := range cands {
+		if excess <= 0 {
+			break
+		}
+		cold := e.coldSlots(t) - t.spilled
+		if cold <= 0 {
+			continue
+		}
+		d := cold
+		if d > excess {
+			d = excess
+		}
+		e.acct.MoveToHost(d)
+		t.spilled += d
+		t.coldRound = round
+		excess -= d
+		e.mx.spilled.Add(d)
+		// Device→host copies consume modeled channel time too; nobody waits
+		// on them (the fetch path pays to bring pages back).
+		e.rt.AccountPages(int((d + P - 1) / P))
+	}
+}
+
+// promoteSpilled moves host-accounted slots back device-side while headroom
+// allows, unwinding the most recent spills first. Residual host accounting
+// left by retired tasks (their shared pages outliving them) is promoted once
+// the active claims are exhausted.
+func (e *Engine) promoteSpilled(active []*task, prefixes map[uint64]*prefixEntry, headroom, pageTokens int64) {
+	avail := e.acct.HostUsed()
+	if avail == 0 {
+		return
+	}
+	promote := headroom
+	if promote > avail {
+		promote = avail
+	}
+	e.acct.MoveToDevice(promote)
+	e.rt.AccountPages(int((promote + pageTokens - 1) / pageTokens))
+	// Shrink per-task claims newest-spill-first so future pressure can spill
+	// them again; cached-prefix claims (the coldest) unwind last, and any
+	// residue beyond both belonged to retired tasks and needs no bookkeeping.
+	cands := make([]*task, 0, len(active))
+	for _, t := range active {
+		if t.spilled > 0 {
+			cands = append(cands, t)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].coldRound != cands[j].coldRound {
+			return cands[i].coldRound > cands[j].coldRound
+		}
+		return cands[i].id > cands[j].id
+	})
+	left := promote
+	for _, t := range cands {
+		if left <= 0 {
+			break
+		}
+		d := t.spilled
+		if d > left {
+			d = left
+		}
+		t.spilled -= d
+		left -= d
+	}
+	if left <= 0 {
+		return
+	}
+	entries := make([]*prefixEntry, 0, len(prefixes))
+	for _, p := range prefixes {
+		if p.spilled > 0 {
+			entries = append(entries, p)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].lastUsed != entries[j].lastUsed {
+			return entries[i].lastUsed > entries[j].lastUsed
+		}
+		return entries[i].key > entries[j].key
+	})
+	for _, p := range entries {
+		if left <= 0 {
+			break
+		}
+		d := p.spilled
+		if d > left {
+			d = left
+		}
+		p.spilled -= d
+		left -= d
+	}
+}
+
+// coldSlots returns the raw slots of t's sequence that sit beyond its
+// selector's device working set: per (layer, head) plane, pages past the
+// Budget hot tokens plus one tail page. Shared prefix pages may be claimed
+// cold by several forks; spillCold bounds total movement by the actual
+// device excess, so over-attribution cannot underflow the accountant.
+func (e *Engine) coldSlots(t *task) int64 {
+	P := e.arena.PageTokens()
+	mc := e.m.Config()
+	var cold int64
+	for l := 0; l < mc.NLayers; l++ {
+		for kv := 0; kv < mc.NKVHeads; kv++ {
+			st := t.seq.Store(l, kv)
+			n := st.Len()
+			hot := t.req.Budget
+			if hot > n {
+				hot = n
+			}
+			hotPages := (hot+P-1)/P + 1 // + the decode tail's page
+			if total := st.NumPages(); total > hotPages {
+				cold += int64(total-hotPages) * int64(P)
+			}
+		}
+	}
+	return cold
+}
+
 // step advances one task by one unit of work: its prefill plus first token
 // on the first round after admission, one decoded token afterwards.
 func (e *Engine) step(t *task) {
@@ -658,6 +921,12 @@ func (e *Engine) prefillStep(t *task) {
 	var sel attention.Selector
 	if r.NewSelector != nil {
 		sel = r.NewSelector()
+		if ra, ok := sel.(attention.RuntimeAware); ok {
+			// Route the selector's simulated KV movement through the
+			// engine-wide async channel (layer-ahead prefetch and overlap
+			// accounting come with it).
+			ra.SetTransferRuntime(e.rt)
+		}
 	}
 	if t.entry != nil {
 		if t.builder {
@@ -746,6 +1015,13 @@ func (e *Engine) retire(t *task, round int64, err error) {
 		e.acct.Release(t.reserved)
 		t.reserved = 0
 	}
+	// Host-accounted (spilled) slots are NOT moved back on retirement: shared
+	// prefix pages this fork claimed cold typically stay live through the
+	// snapshot and sibling forks, and yanking them device-side would force a
+	// pointless re-spill. Release clamps host accounting to the live total,
+	// and the next round's tier rebalance promotes slots back as device
+	// headroom appears.
+	t.spilled = 0
 	if t.seq != nil {
 		t.seq.Release()
 		t.seq = nil

@@ -53,6 +53,18 @@ type Metrics struct {
 	// round barriers; under WorstCaseAdmission they are the reservation
 	// gauge and its instantaneous peak, as in the pre-paged engine.
 	KVUsed, KVPeak, KVCapacity int64
+	// Two-tier gauges. Device used/peak are sampled at round barriers after
+	// the spill pass, so KVDevicePeak is what the device tier actually had
+	// to hold; without Config.HostBudget nothing ever spills, so they
+	// mirror KVUsed/KVPeak and the host/spill gauges stay zero. KVSpilled
+	// is the cumulative slots moved device→host by cold spills.
+	KVDeviceUsed, KVDevicePeak             int64
+	KVHostUsed, KVHostPeak, KVHostCapacity int64
+	KVSpilled                              int64
+	// Transfer is the async transfer runtime's overlap telemetry: modeled
+	// channel-busy time vs the portion compute actually waited out, plus
+	// layer-ahead prefetch page counters.
+	Transfer metrics.Overlap
 	// Latency distributions.
 	TTFT, TokenLatency, QueueWait LatencyStats
 	// Scheduler gauges, averaged per round.
@@ -78,6 +90,21 @@ func (m Metrics) String() string {
 		m.PrefixHits, m.PrefixMisses, m.PrefixEvicted)
 	fmt.Fprintf(&b, "kv slots: %d used, %d peak, %d capacity\n",
 		m.KVUsed, m.KVPeak, m.KVCapacity)
+	if m.KVHostCapacity > 0 {
+		fmt.Fprintf(&b, "kv tiers: device peak %d/%d, host peak %d/%d, %d slots spilled\n",
+			m.KVDevicePeak, m.KVCapacity, m.KVHostPeak, m.KVHostCapacity, m.KVSpilled)
+	}
+	if m.Transfer.Transfers > 0 {
+		fmt.Fprintf(&b, "transfers: %d moves, %d pages, busy %.1fms, exposed %.1fms, hidden %.1fms (%.0f%%)\n",
+			m.Transfer.Transfers, m.Transfer.Pages,
+			m.Transfer.BusySec*1e3, m.Transfer.ExposedSec*1e3,
+			m.Transfer.HiddenSec()*1e3, m.Transfer.HiddenFrac()*100)
+		if m.Transfer.PrefetchedPages > 0 {
+			fmt.Fprintf(&b, "prefetch:  %d pages issued, %d hit (%.0f%% hit rate), %d dropped\n",
+				m.Transfer.PrefetchedPages, m.Transfer.PrefetchHits,
+				m.Transfer.PrefetchHitRate()*100, m.Transfer.PrefetchDropped)
+		}
+	}
 	fmt.Fprintf(&b, "scheduler: %d rounds, mean queue depth %.2f, mean batch %.2f\n",
 		m.Rounds, m.MeanQueueDepth, m.MeanBatchOccupancy)
 	fmt.Fprintf(&b, "ttft:      %s\n", m.TTFT)
@@ -90,6 +117,7 @@ func (m Metrics) String() string {
 type engineMetrics struct {
 	submitted     atomic.Uint64
 	prefixEvicted atomic.Uint64
+	spilled       atomic.Int64
 
 	mu                       sync.Mutex
 	completed, failed        uint64
@@ -97,18 +125,26 @@ type engineMetrics struct {
 	tokensOut, prefillTokens int64
 	rounds                   int64
 	kvPeak                   int64
+	devPeak, hostPeak        int64
 	queueDepth, batchOcc     metrics.Summary
 	ttft, tokenLat, qwait    metrics.Summary
 	firstAdmit, lastDone     time.Time
 }
 
-// observeKV records the accountant gauge sampled at a round barrier,
-// tracking the deterministic round-granular high-water mark.
-func (x *engineMetrics) observeKV(used int64) {
+// observeKV records the accountant gauges sampled at a round barrier (after
+// the spill pass), tracking deterministic round-granular high-water marks
+// for the total footprint and both tiers.
+func (x *engineMetrics) observeKV(used, devUsed, hostUsed int64) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if used > x.kvPeak {
 		x.kvPeak = used
+	}
+	if devUsed > x.devPeak {
+		x.devPeak = devUsed
+	}
+	if hostUsed > x.hostPeak {
+		x.hostPeak = hostUsed
 	}
 }
 
@@ -197,6 +233,13 @@ func (e *Engine) Metrics() Metrics {
 		KVUsed:             e.kvUnits(e.acct.Used()),
 		KVPeak:             e.kvPeak(x),
 		KVCapacity:         e.kvUnits(e.acct.Capacity()),
+		KVDeviceUsed:       e.kvUnits(e.acct.DeviceUsed()),
+		KVDevicePeak:       e.kvUnits(x.devPeak),
+		KVHostUsed:         e.kvUnits(e.acct.HostUsed()),
+		KVHostPeak:         e.kvUnits(x.hostPeak),
+		KVHostCapacity:     e.kvUnits(e.acct.HostCapacity()),
+		KVSpilled:          e.kvUnits(x.spilled.Load()),
+		Transfer:           e.rt.Stats(),
 		TTFT:               summarize(&x.ttft),
 		TokenLatency:       summarize(&x.tokenLat),
 		QueueWait:          summarize(&x.qwait),

@@ -392,8 +392,8 @@ func TestBuilderNotDoubleChargedForPrefix(t *testing.T) {
 func TestRejectedRequestsCountAsFailed(t *testing.T) {
 	m := testModel()
 	e := NewEngine(m, Config{Workers: 1, Seed: 1})
-	e.Submit(Request{Prompt: []int{1}, MaxNewTokens: 0}).Wait()       // invalid shape
-	e.Submit(Request{Prompt: []int{99999}, MaxNewTokens: 2}).Wait()   // out-of-vocab token
+	e.Submit(Request{Prompt: []int{1}, MaxNewTokens: 0}).Wait()     // invalid shape
+	e.Submit(Request{Prompt: []int{99999}, MaxNewTokens: 2}).Wait() // out-of-vocab token
 	if resp := e.Submit(Request{Prompt: []int{-1}, MaxNewTokens: 2}).Wait(); !errors.Is(resp.Err, ErrBadRequest) {
 		t.Fatalf("negative token accepted: %v", resp.Err)
 	}
