@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-seq test-xfer-race vet race bench bench-smoke serve clean
+.PHONY: build test test-seq test-xfer-race test-fleet vet race bench bench-smoke serve clean
 
 build:
 	$(GO) build ./...
@@ -25,12 +25,20 @@ test-seq:
 test-xfer-race:
 	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/serve/ ./internal/kvcache/ ./internal/core/
 
+# Fleet determinism lane: the multi-replica router suite at the serial
+# schedule and at GOMAXPROCS=2 (race-enabled), locking identical placements,
+# tokens and metrics across replica counts {1,2,4} (DESIGN.md §9).
+test-fleet:
+	GOMAXPROCS=1 $(GO) test -count=1 ./internal/fleet/
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/fleet/
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # Benchmark smoke lane: compile and run every benchmark in the module once,
 # so perf-critical paths (serve engine, paged arena, parallel kernels) cannot
-# silently rot into compile errors or panics. Not a measurement run.
+# silently rot into compile errors or panics. The `-exp fleet` experiment
+# runs here via BenchmarkFleetRouting. Not a measurement run.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 

@@ -91,6 +91,15 @@ func BenchmarkOverlapPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetRouting runs the fleet-routing policy comparison (affinity
+// vs round-robin vs least-loaded over 4 engine replicas) at reduced scale,
+// reporting the affinity policy's prefill-pages-saved advantage as a metric.
+func BenchmarkFleetRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunFleet(benchOptions())
+	}
+}
+
 // ---- Microbenchmarks of the system's hot paths ---------------------------------
 
 // BenchmarkPrefillClustering measures semantic clustering of an 8k-token

@@ -30,6 +30,7 @@ import (
 	"clusterkv/internal/bench"
 	"clusterkv/internal/cluster"
 	"clusterkv/internal/core"
+	"clusterkv/internal/fleet"
 	"clusterkv/internal/kvcache"
 	"clusterkv/internal/memsim"
 	"clusterkv/internal/metrics"
@@ -226,6 +227,70 @@ func NewEngine(m *Model, cfg EngineConfig) *Engine { return serve.NewEngine(m, c
 
 // DefaultEngineConfig returns the default serving configuration.
 func DefaultEngineConfig() EngineConfig { return serve.DefaultConfig() }
+
+// ---- Fleet serving ----------------------------------------------------------
+
+// FleetRouter places a request stream across N engine replicas: prefix-
+// affinity routing (requests land where their shared prefix is already
+// cached), per-replica admission backpressure, and SLO-aware scheduling over
+// modeled TTFT/TBT. Router.Run is deterministic per seed; with one replica
+// it reproduces Engine.Run token-for-token (DESIGN.md §9).
+type FleetRouter = fleet.Router
+
+// FleetConfig holds the fleet tunables (replica count, policy, per-replica
+// engine config, modeled SLOs).
+type FleetConfig = fleet.Config
+
+// FleetPolicy selects the routing policy.
+type FleetPolicy = fleet.Policy
+
+// Fleet routing policies.
+const (
+	// FleetAffinity routes by shared-prefix residency with a least-loaded,
+	// consistent-hash-tiebroken fallback (the default).
+	FleetAffinity = fleet.PolicyAffinity
+	// FleetRoundRobin is the cache-oblivious round-robin baseline.
+	FleetRoundRobin = fleet.PolicyRoundRobin
+	// FleetLeastLoaded balances KV pages and queue depth, ignoring caches.
+	FleetLeastLoaded = fleet.PolicyLeastLoaded
+)
+
+// ParseFleetPolicy parses a policy flag value ("affinity", "rr",
+// "leastloaded").
+func ParseFleetPolicy(s string) (FleetPolicy, error) { return fleet.ParsePolicy(s) }
+
+// FleetResponse is the outcome of one routed request: the engine response
+// plus the serving replica and modeled TTFT/TBT.
+type FleetResponse = fleet.Response
+
+// FleetTicket is the handle returned by FleetRouter.Submit.
+type FleetTicket = fleet.Ticket
+
+// FleetSummary is a snapshot of fleet-wide routing and serving state.
+type FleetSummary = fleet.Summary
+
+// ErrFleetSLOShed reports a request shed because every replica's modeled
+// TTFT missed the configured SLO.
+var ErrFleetSLOShed = fleet.ErrSLOShed
+
+// NewFleetRouter builds a fleet of cfg.Replicas engines over one model.
+// Callers must Close (or Shutdown) it.
+func NewFleetRouter(m *Model, cfg FleetConfig) *FleetRouter { return fleet.NewRouter(m, cfg) }
+
+// DefaultFleetConfig returns a 2-replica affinity-routing fleet config.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// Arrival is one event of an open-loop arrival process.
+type Arrival = workload.Arrival
+
+// PoissonArrivals draws n seeded open-loop arrivals at mean rate req/s.
+func PoissonArrivals(seed uint64, n int, rate float64) []Arrival {
+	return workload.PoissonArrivals(seed, n, rate)
+}
+
+// Arrivals materialises a load's embedded interarrival gaps as absolute
+// submission times.
+func Arrivals(load []QARequest) []Arrival { return workload.Arrivals(load) }
 
 // ---- Intra-op parallelism ---------------------------------------------------
 

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig3a, fig3b, fig9, tab1, fig10, fig11a, fig11b, fig12, fig13a, fig13b, cache, overlap, ablations, parprefill, pagedkv, all)")
+		exp      = flag.String("exp", "all", "experiment id (fig3a, fig3b, fig9, tab1, fig10, fig11a, fig11b, fig12, fig13a, fig13b, cache, overlap, ablations, parprefill, pagedkv, fleet, all)")
 		ctx      = flag.Int("ctx", 8192, "max context length for trace experiments")
 		modelCtx = flag.Int("modelctx", 4096, "max context length for transformer-engine experiments")
 		seed     = flag.Uint64("seed", 1, "master seed")

@@ -1,0 +1,168 @@
+// Command clusterkv-fleet drives the multi-replica fleet router with a
+// synthetic shared-document QA load and prints a routing/load report per
+// policy, mirroring clusterkv-serve's table at fleet granularity.
+//
+//	clusterkv-fleet                              # 4 replicas, affinity routing
+//	clusterkv-fleet -policy all                  # compare affinity vs rr vs leastloaded
+//	clusterkv-fleet -replicas 8 -requests 64
+//	clusterkv-fleet -slo-ttft 150 -shed          # SLO-aware shedding (modeled ms)
+//	clusterkv-fleet -rate 8                      # open-loop Poisson arrivals (streaming path)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"clusterkv"
+)
+
+func main() {
+	var (
+		replicas = flag.Int("replicas", 4, "engine replicas behind the router")
+		policy   = flag.String("policy", "affinity", "routing policy (affinity, rr, leastloaded, all)")
+		sloTTFT  = flag.Float64("slo-ttft", 0, "modeled TTFT SLO in milliseconds (0 = none)")
+		sloTBT   = flag.Float64("slo-tbt", 0, "modeled TBT SLO in milliseconds (0 = none)")
+		shed     = flag.Bool("shed", false, "shed requests predicted to miss -slo-ttft on every replica")
+		streams  = flag.Int("streams", 4, "per-replica concurrent decode streams (MaxBatch)")
+		workers  = flag.Int("workers", 0, "per-replica round fan-out (0 = GOMAXPROCS)")
+		kvBudget = flag.Int64("kvbudget", 0, "per-replica device KV budget in per-head token slots (0 = unlimited)")
+		requests = flag.Int("requests", 16, "total requests in the load")
+		docs     = flag.Int("docs", 4, "shared documents tenants ask about")
+		docLen   = flag.Int("doclen", 1024, "document length (tokens)")
+		qLen     = flag.Int("qlen", 32, "question suffix length (tokens)")
+		newTok   = flag.Int("newtokens", 24, "tokens generated per request")
+		budget   = flag.Int("budget", 256, "per-head KV budget for compressed methods")
+		method   = flag.String("method", "clusterkv", "compression method (clusterkv, quest, fullkv)")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = deterministic closed-loop Run)")
+		seed     = flag.Uint64("seed", 1, "master seed")
+	)
+	flag.Parse()
+
+	var sel func() clusterkv.Selector
+	switch strings.ToLower(*method) {
+	case "clusterkv":
+		sel = func() clusterkv.Selector { return clusterkv.New(clusterkv.DefaultConfig()) }
+	case "quest":
+		sel = func() clusterkv.Selector { return clusterkv.NewQuest(clusterkv.DefaultQuestConfig()) }
+	case "fullkv":
+		sel = nil
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -method %q (clusterkv, quest, fullkv)\n", *method)
+		os.Exit(2)
+	}
+
+	var policies []clusterkv.FleetPolicy
+	if strings.ToLower(*policy) == "all" {
+		policies = []clusterkv.FleetPolicy{
+			clusterkv.FleetAffinity, clusterkv.FleetRoundRobin, clusterkv.FleetLeastLoaded,
+		}
+	} else {
+		p, err := clusterkv.ParseFleetPolicy(*policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		policies = []clusterkv.FleetPolicy{p}
+	}
+
+	lc := clusterkv.DefaultLoadConfig()
+	lc.Doc.Seed = *seed
+	lc.NDocs = *docs
+	lc.DocLen = *docLen
+	lc.NRequests = *requests
+	lc.QuestionLen = *qLen
+	lc.MaxNewTokens = *newTok
+	lc.RatePerSec = *rate
+	load := clusterkv.NewLoad(lc)
+	reqs := make([]clusterkv.ServeRequest, len(load))
+	for i, q := range load {
+		reqs[i] = clusterkv.ServeRequest{
+			Prompt:          q.Prompt,
+			SharedPrefixLen: q.SharedPrefixLen,
+			MaxNewTokens:    q.MaxNewTokens,
+		}
+		if sel != nil {
+			reqs[i].Budget = *budget
+			reqs[i].NewSelector = sel
+		}
+	}
+
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	fmt.Printf("load: %d requests over %d shared docs (%d+%d prompt tokens, %d generated each), method %s\n",
+		*requests, *docs, *docLen, *qLen, *newTok, *method)
+	if *rate > 0 {
+		fmt.Printf("arrivals: open-loop Poisson at %.2f req/s (live routing via TrySubmit)\n", *rate)
+	} else {
+		fmt.Printf("arrivals: closed loop (deterministic fleet Run)\n")
+	}
+	if *sloTTFT > 0 {
+		fmt.Printf("slo: modeled ttft %.0fms (shed=%v)\n", *sloTTFT, *shed)
+	}
+	fmt.Printf("fleet: %d replicas, %d streams/replica, kv budget %v\n\n",
+		*replicas, *streams, budgetStr(*kvBudget))
+
+	type row struct {
+		policy  string
+		sum     clusterkv.FleetSummary
+		elapsed time.Duration
+	}
+	var rows []row
+
+	for _, p := range policies {
+		ecfg := clusterkv.DefaultEngineConfig()
+		ecfg.MaxBatch = *streams
+		if *workers > 0 {
+			ecfg.Workers = *workers
+		}
+		ecfg.KVBudget = *kvBudget
+		ecfg.Seed = *seed
+		router := clusterkv.NewFleetRouter(m, clusterkv.FleetConfig{
+			Replicas: *replicas,
+			Policy:   p,
+			Engine:   ecfg,
+			SLOTTFT:  *sloTTFT / 1e3,
+			SLOTBT:   *sloTBT / 1e3,
+			Shed:     *shed,
+			Seed:     *seed,
+		})
+		start := time.Now()
+		if *rate > 0 {
+			tickets := make([]*clusterkv.FleetTicket, len(reqs))
+			for i, req := range reqs {
+				time.Sleep(time.Duration(load[i].Gap * float64(time.Second)))
+				tickets[i] = router.Submit(req)
+			}
+			for _, tk := range tickets {
+				tk.Wait()
+			}
+		} else {
+			router.Run(reqs)
+		}
+		elapsed := time.Since(start)
+		router.Close()
+		sum := router.Summary()
+		fmt.Printf("== policy %s ==\n%s\n", p, sum)
+		rows = append(rows, row{p.String(), sum, elapsed})
+	}
+
+	fmt.Printf("%-12s %9s %9s %13s %12s %10s %10s %9s %8s %5s %9s\n",
+		"policy", "completed", "pfx hit%", "prefill toks", "pages saved",
+		"ttft p50", "ttft p95", "tbt p50", "balance", "shed", "slo att")
+	for _, r := range rows {
+		s := r.sum
+		fmt.Printf("%-12s %9d %8.0f%% %13d %12d %8.1fms %8.1fms %7.2fms %8.2f %5d %8.0f%%\n",
+			r.policy, s.Completed, s.PrefixHitRate()*100, s.PrefillTokens, s.SavedPrefillPages,
+			s.ModelTTFT.P50*1e3, s.ModelTTFT.P95*1e3, s.ModelTBT.P50*1e3,
+			s.Balance, s.Shed, s.SLOAttainment*100)
+	}
+}
+
+func budgetStr(b int64) string {
+	if b <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d slots", b)
+}

@@ -33,6 +33,9 @@ func Registry() map[string]Runner {
 		"pagedkv": func(o Options) []*Report {
 			return []*Report{RunPagedKV(o)}
 		},
+		"fleet": func(o Options) []*Report {
+			return []*Report{RunFleet(o)}
+		},
 	}
 }
 
@@ -41,6 +44,6 @@ func RegistryOrder() []string {
 	return []string{
 		"fig3a", "fig3b", "fig9", "tab1", "fig10",
 		"fig11a", "fig11b", "fig12", "fig13a", "fig13b",
-		"cache", "overlap", "ablations", "parprefill", "pagedkv",
+		"cache", "overlap", "ablations", "parprefill", "pagedkv", "fleet",
 	}
 }

@@ -1,0 +1,294 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"clusterkv/internal/attention"
+	"clusterkv/internal/core"
+	"clusterkv/internal/model"
+	"clusterkv/internal/serve"
+	"clusterkv/internal/workload"
+)
+
+func testModel() *model.Model {
+	cfg := model.DefaultConfig()
+	cfg.VocabSize = 128
+	cfg.DModel = 32
+	cfg.NLayers = 2
+	cfg.NHeads = 2
+	cfg.NKVHeads = 2
+	cfg.HeadDim = 8
+	cfg.FFNDim = 64
+	cfg.NTopics = 8
+	return model.New(cfg)
+}
+
+func clusterSel() attention.Selector {
+	cfg := core.NewConfig()
+	cfg.BypassLayers = 0
+	return core.New(cfg)
+}
+
+// fleetLoad builds a deterministic shared-document QA load: nReqs requests
+// over nDocs distinct shared documents, mixing ClusterKV tenants, a
+// full-attention tenant and a sampled tenant.
+func fleetLoad(nDocs, nReqs int) []serve.Request {
+	lc := workload.LoadConfig{
+		Doc:          workload.DefaultDocConfig(),
+		NDocs:        nDocs,
+		DocLen:       160,
+		NRequests:    nReqs,
+		QuestionLen:  12,
+		MaxNewTokens: 5,
+	}
+	lc.Doc.VocabSize = 128
+	lc.Doc.NTopics = 8
+	lc.Doc.Seed = 42
+	load := workload.NewLoad(lc)
+	reqs := make([]serve.Request, len(load))
+	for i, q := range load {
+		reqs[i] = serve.Request{
+			Prompt:          q.Prompt,
+			SharedPrefixLen: q.SharedPrefixLen,
+			MaxNewTokens:    q.MaxNewTokens,
+			Budget:          64,
+			NewSelector:     clusterSel,
+		}
+		if i%4 == 1 {
+			reqs[i].NewSelector = nil
+			reqs[i].Budget = 0
+		}
+		if i%5 == 2 {
+			reqs[i].Temperature = 0.8
+		}
+	}
+	return reqs
+}
+
+// fleetFingerprint is everything about a fleet Run that must reproduce:
+// placements, token streams, round schedules, modeled latencies, and the
+// deterministic summary counters.
+type fleetFingerprint struct {
+	replica    []int
+	tokens     [][]int
+	admitRound []int64
+	doneRound  []int64
+	prefixHit  []bool
+	errs       []string
+	modelTTFT  []float64
+	modelTBT   []float64
+
+	routed, shed, rerouted       int64
+	completed, failed            uint64
+	prefixHits, prefixMisses     uint64
+	prefillTokens, tokensOut     int64
+	savedTokens, savedPages      int64
+	balance                      float64
+	sloAttain                    float64
+	perReplicaRouted             []int64
+	ttftP50, ttftP95, ttftN, tbt float64
+}
+
+func (a fleetFingerprint) diff(b fleetFingerprint) string {
+	if len(a.replica) != len(b.replica) {
+		return fmt.Sprintf("response count %d vs %d", len(a.replica), len(b.replica))
+	}
+	for i := range a.replica {
+		switch {
+		case a.replica[i] != b.replica[i]:
+			return fmt.Sprintf("request %d placed on replica %d vs %d", i, a.replica[i], b.replica[i])
+		case a.errs[i] != b.errs[i]:
+			return fmt.Sprintf("request %d err %q vs %q", i, a.errs[i], b.errs[i])
+		case len(a.tokens[i]) != len(b.tokens[i]):
+			return fmt.Sprintf("request %d token count %d vs %d", i, len(a.tokens[i]), len(b.tokens[i]))
+		case a.admitRound[i] != b.admitRound[i] || a.doneRound[i] != b.doneRound[i]:
+			return fmt.Sprintf("request %d rounds (%d,%d) vs (%d,%d)",
+				i, a.admitRound[i], a.doneRound[i], b.admitRound[i], b.doneRound[i])
+		case a.prefixHit[i] != b.prefixHit[i]:
+			return fmt.Sprintf("request %d prefix hit %v vs %v", i, a.prefixHit[i], b.prefixHit[i])
+		case a.modelTTFT[i] != b.modelTTFT[i]:
+			return fmt.Sprintf("request %d modeled TTFT %v vs %v", i, a.modelTTFT[i], b.modelTTFT[i])
+		case a.modelTBT[i] != b.modelTBT[i]:
+			return fmt.Sprintf("request %d modeled TBT %v vs %v", i, a.modelTBT[i], b.modelTBT[i])
+		}
+		for j := range a.tokens[i] {
+			if a.tokens[i][j] != b.tokens[i][j] {
+				return fmt.Sprintf("request %d token %d: %d vs %d", i, j, a.tokens[i][j], b.tokens[i][j])
+			}
+		}
+	}
+	type num struct {
+		a, b float64
+		name string
+	}
+	for _, c := range []num{
+		{float64(a.routed), float64(b.routed), "routed"},
+		{float64(a.shed), float64(b.shed), "shed"},
+		{float64(a.rerouted), float64(b.rerouted), "rerouted"},
+		{float64(a.completed), float64(b.completed), "completed"},
+		{float64(a.failed), float64(b.failed), "failed"},
+		{float64(a.prefixHits), float64(b.prefixHits), "prefixHits"},
+		{float64(a.prefixMisses), float64(b.prefixMisses), "prefixMisses"},
+		{float64(a.prefillTokens), float64(b.prefillTokens), "prefillTokens"},
+		{float64(a.tokensOut), float64(b.tokensOut), "tokensGenerated"},
+		{float64(a.savedTokens), float64(b.savedTokens), "savedPrefillTokens"},
+		{float64(a.savedPages), float64(b.savedPages), "savedPrefillPages"},
+		{a.balance, b.balance, "balance"},
+		{a.sloAttain, b.sloAttain, "sloAttainment"},
+		{a.ttftP50, b.ttftP50, "modelTTFT.P50"},
+		{a.ttftP95, b.ttftP95, "modelTTFT.P95"},
+		{a.ttftN, b.ttftN, "modelTTFT.N"},
+		{a.tbt, b.tbt, "modelTBT.P50"},
+	} {
+		if c.a != c.b {
+			return fmt.Sprintf("summary %s: %v vs %v", c.name, c.a, c.b)
+		}
+	}
+	if len(a.perReplicaRouted) != len(b.perReplicaRouted) {
+		return "replica count differs"
+	}
+	for i := range a.perReplicaRouted {
+		if a.perReplicaRouted[i] != b.perReplicaRouted[i] {
+			return fmt.Sprintf("replica %d routed %d vs %d", i, a.perReplicaRouted[i], b.perReplicaRouted[i])
+		}
+	}
+	return ""
+}
+
+// runFleet runs the load on a fresh router and fingerprints the outcome.
+func runFleet(t *testing.T, m *model.Model, replicas int, reqs []serve.Request, mutate ...func(*Config)) fleetFingerprint {
+	t.Helper()
+	cfg := Config{
+		Replicas: replicas,
+		Policy:   PolicyAffinity,
+		Engine:   serve.Config{Workers: 2, MaxBatch: 4, KVBudget: 2048, Seed: 7},
+		Seed:     7,
+	}
+	for _, mu := range mutate {
+		mu(&cfg)
+	}
+	r := NewRouter(m, cfg)
+	resps := r.Run(reqs)
+	sum := r.Summary()
+	r.Close()
+
+	fp := fleetFingerprint{}
+	for _, resp := range resps {
+		fp.replica = append(fp.replica, resp.Replica)
+		fp.tokens = append(fp.tokens, resp.Tokens)
+		fp.admitRound = append(fp.admitRound, resp.AdmitRound)
+		fp.doneRound = append(fp.doneRound, resp.DoneRound)
+		fp.prefixHit = append(fp.prefixHit, resp.PrefixHit)
+		fp.modelTTFT = append(fp.modelTTFT, resp.ModelTTFT)
+		fp.modelTBT = append(fp.modelTBT, resp.ModelTBT)
+		if resp.Err != nil {
+			fp.errs = append(fp.errs, resp.Err.Error())
+		} else {
+			fp.errs = append(fp.errs, "")
+		}
+	}
+	fp.routed, fp.shed, fp.rerouted = sum.Routed, sum.Shed, sum.Rerouted
+	fp.completed, fp.failed = sum.Completed, sum.Failed
+	fp.prefixHits, fp.prefixMisses = sum.PrefixHits, sum.PrefixMisses
+	fp.prefillTokens, fp.tokensOut = sum.PrefillTokens, sum.TokensGenerated
+	fp.savedTokens, fp.savedPages = sum.SavedPrefillTokens, sum.SavedPrefillPages
+	fp.balance, fp.sloAttain = sum.Balance, sum.SLOAttainment
+	fp.ttftP50, fp.ttftP95, fp.ttftN = sum.ModelTTFT.P50, sum.ModelTTFT.P95, float64(sum.ModelTTFT.N)
+	fp.tbt = sum.ModelTBT.P50
+	for _, rs := range sum.PerReplica {
+		fp.perReplicaRouted = append(fp.perReplicaRouted, rs.Routed)
+	}
+	return fp
+}
+
+// TestRouterDeterminismAcrossReplicaCounts is the fleet determinism lock:
+// at every replica count in {1, 2, 4} and for every policy, two runs of the
+// same seeded load on fresh routers must produce identical placements, token
+// streams, round schedules, modeled latencies and summary counters.
+func TestRouterDeterminismAcrossReplicaCounts(t *testing.T) {
+	m := testModel()
+	reqs := fleetLoad(3, 12)
+	for _, replicas := range []int{1, 2, 4} {
+		for _, policy := range []Policy{PolicyAffinity, PolicyRoundRobin, PolicyLeastLoaded} {
+			mutate := func(c *Config) { c.Policy = policy }
+			a := runFleet(t, m, replicas, reqs, mutate)
+			if a.completed != uint64(len(reqs)) || a.failed != 0 {
+				t.Fatalf("replicas=%d policy=%s: %d completed, %d failed, want %d/0",
+					replicas, policy, a.completed, a.failed, len(reqs))
+			}
+			b := runFleet(t, m, replicas, reqs, mutate)
+			if d := a.diff(b); d != "" {
+				t.Fatalf("replicas=%d policy=%s: runs differ: %s", replicas, policy, d)
+			}
+		}
+	}
+}
+
+// TestRouterDeterminismWithSLO repeats the lock with SLO scheduling engaged
+// (reroute and shed paths included), which exercises the prediction model in
+// the placement loop.
+func TestRouterDeterminismWithSLO(t *testing.T) {
+	m := testModel()
+	reqs := fleetLoad(2, 16)
+	mutate := func(c *Config) {
+		c.SLOTTFT = 0.15 // ~7 modeled decode rounds: early placements fit, a backlog sheds
+		c.Shed = true
+	}
+	for _, replicas := range []int{1, 2, 4} {
+		a := runFleet(t, m, replicas, reqs, mutate)
+		b := runFleet(t, m, replicas, reqs, mutate)
+		if d := a.diff(b); d != "" {
+			t.Fatalf("replicas=%d: SLO runs differ: %s", replicas, d)
+		}
+		if a.shed+int64(a.completed) != int64(len(reqs)) {
+			t.Fatalf("replicas=%d: shed %d + completed %d != %d",
+				replicas, a.shed, a.completed, len(reqs))
+		}
+	}
+}
+
+// TestSingleReplicaMatchesEngineRun: a 1-replica fleet is exactly the engine.
+// Router.Run must reproduce Engine.Run token-for-token, with identical round
+// schedules and prefix-cache behaviour, for every policy.
+func TestSingleReplicaMatchesEngineRun(t *testing.T) {
+	m := testModel()
+	reqs := fleetLoad(2, 10)
+	ecfg := serve.Config{Workers: 2, MaxBatch: 4, KVBudget: 2048, Seed: 7}
+
+	eng := serve.NewEngine(m, ecfg)
+	want := eng.Run(reqs)
+	eng.Close()
+
+	for _, policy := range []Policy{PolicyAffinity, PolicyRoundRobin, PolicyLeastLoaded} {
+		r := NewRouter(m, Config{Replicas: 1, Policy: policy, Engine: ecfg, Seed: 7})
+		got := r.Run(reqs)
+		r.Close()
+		for i := range want {
+			if got[i].Replica != 0 {
+				t.Fatalf("policy %s: request %d on replica %d, want 0", policy, i, got[i].Replica)
+			}
+			if (want[i].Err == nil) != (got[i].Err == nil) {
+				t.Fatalf("policy %s: request %d err %v vs engine %v", policy, i, got[i].Err, want[i].Err)
+			}
+			if len(got[i].Tokens) != len(want[i].Tokens) {
+				t.Fatalf("policy %s: request %d has %d tokens, engine %d",
+					policy, i, len(got[i].Tokens), len(want[i].Tokens))
+			}
+			for j := range want[i].Tokens {
+				if got[i].Tokens[j] != want[i].Tokens[j] {
+					t.Fatalf("policy %s: request %d token %d: %d vs engine %d",
+						policy, i, j, got[i].Tokens[j], want[i].Tokens[j])
+				}
+			}
+			if got[i].AdmitRound != want[i].AdmitRound || got[i].DoneRound != want[i].DoneRound {
+				t.Fatalf("policy %s: request %d rounds (%d,%d) vs engine (%d,%d)",
+					policy, i, got[i].AdmitRound, got[i].DoneRound, want[i].AdmitRound, want[i].DoneRound)
+			}
+			if got[i].PrefixHit != want[i].PrefixHit {
+				t.Fatalf("policy %s: request %d prefix hit %v vs engine %v",
+					policy, i, got[i].PrefixHit, want[i].PrefixHit)
+			}
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"clusterkv/internal/serve"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{
+		"affinity":    PolicyAffinity,
+		"rr":          PolicyRoundRobin,
+		"RoundRobin":  PolicyRoundRobin,
+		"leastloaded": PolicyLeastLoaded,
+		" ll ":        PolicyLeastLoaded,
+	}
+	for s, want := range cases {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if rt, err := ParsePolicy(got.String()); err != nil || rt != want {
+			t.Fatalf("policy %v does not round-trip through String(): %v, %v", want, rt, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}
+
+// TestAffinityKeepsDocumentsTogether: with as many replicas as shared
+// documents, affinity routing prefills each document exactly once
+// fleet-wide (misses == docs), keeps every same-document request on one
+// replica, and beats round-robin on prefill work saved.
+func TestAffinityKeepsDocumentsTogether(t *testing.T) {
+	m := testModel()
+	const nDocs, nReqs = 4, 16
+	reqs := fleetLoad(nDocs, nReqs)
+
+	run := func(policy Policy) (Summary, []Response) {
+		r := NewRouter(m, Config{
+			Replicas: nDocs,
+			Policy:   policy,
+			Engine:   serve.Config{Workers: 2, MaxBatch: 4, Seed: 7},
+			Seed:     7,
+		})
+		resps := r.Run(reqs)
+		sum := r.Summary()
+		r.Close()
+		for i, resp := range resps {
+			if resp.Err != nil {
+				t.Fatalf("policy %s request %d: %v", policy, i, resp.Err)
+			}
+		}
+		return sum, resps
+	}
+
+	aff, affResps := run(PolicyAffinity)
+	rr, _ := run(PolicyRoundRobin)
+
+	if aff.PrefixMisses != nDocs {
+		t.Fatalf("affinity prefilled %d documents, want exactly %d", aff.PrefixMisses, nDocs)
+	}
+	// Same document => same replica under affinity.
+	docReplica := map[uint64]int{}
+	for i, resp := range affResps {
+		h := serve.PrefixKey(reqs[i].Prompt[:reqs[i].SharedPrefixLen])
+		if rep, ok := docReplica[h]; ok {
+			if rep != resp.Replica {
+				t.Fatalf("document split across replicas %d and %d under affinity", rep, resp.Replica)
+			}
+		} else {
+			docReplica[h] = resp.Replica
+		}
+	}
+	if aff.SavedPrefillTokens <= rr.SavedPrefillTokens {
+		t.Fatalf("affinity saved %d prefill tokens, round-robin %d; affinity should win",
+			aff.SavedPrefillTokens, rr.SavedPrefillTokens)
+	}
+	if aff.SavedPrefillPages <= rr.SavedPrefillPages {
+		t.Fatalf("affinity saved %d prefill pages, round-robin %d; affinity should win",
+			aff.SavedPrefillPages, rr.SavedPrefillPages)
+	}
+	if aff.PrefillTokens >= rr.PrefillTokens {
+		t.Fatalf("affinity prefilled %d tokens, round-robin %d; affinity should prefill less",
+			aff.PrefillTokens, rr.PrefillTokens)
+	}
+	if aff.ModelTTFT.P50 >= rr.ModelTTFT.P50 {
+		t.Fatalf("affinity modeled TTFT p50 %.3gms not better than round-robin %.3gms",
+			aff.ModelTTFT.P50*1e3, rr.ModelTTFT.P50*1e3)
+	}
+}
+
+// TestLeastLoadedBalances: the cache-oblivious least-loaded policy spreads a
+// uniform load evenly (balance == 1 for a request count divisible by the
+// fleet size).
+func TestLeastLoadedBalances(t *testing.T) {
+	m := testModel()
+	reqs := fleetLoad(2, 12)
+	r := NewRouter(m, Config{
+		Replicas: 4,
+		Policy:   PolicyLeastLoaded,
+		Engine:   serve.Config{Workers: 1, MaxBatch: 4, Seed: 3},
+		Seed:     3,
+	})
+	for i, resp := range r.Run(reqs) {
+		if resp.Err != nil {
+			t.Fatalf("request %d: %v", i, resp.Err)
+		}
+	}
+	sum := r.Summary()
+	r.Close()
+	for i, rs := range sum.PerReplica {
+		if rs.Routed != 3 {
+			t.Fatalf("replica %d routed %d of 12 requests across 4 replicas (balance %.2f)",
+				i, rs.Routed, sum.Balance)
+		}
+	}
+	if sum.Balance != 1 {
+		t.Fatalf("balance = %.3f, want 1.0", sum.Balance)
+	}
+}
+
+// TestSLOShedsUnplaceableRequests: an impossible TTFT SLO with shedding on
+// drops every request deterministically — nothing reaches an engine, and the
+// summary reports zero attainment.
+func TestSLOShedsUnplaceableRequests(t *testing.T) {
+	m := testModel()
+	reqs := fleetLoad(2, 8)
+	r := NewRouter(m, Config{
+		Replicas: 2,
+		Engine:   serve.Config{Workers: 1, MaxBatch: 4, Seed: 1},
+		SLOTTFT:  1e-12, // below even an empty replica's first-token time
+		Shed:     true,
+		Seed:     1,
+	})
+	defer r.Close()
+	for i, resp := range r.Run(reqs) {
+		if !errors.Is(resp.Err, ErrSLOShed) {
+			t.Fatalf("request %d err = %v, want ErrSLOShed", i, resp.Err)
+		}
+		if resp.Replica != -1 || !resp.SLOMiss {
+			t.Fatalf("shed request %d: replica %d, sloMiss %v", i, resp.Replica, resp.SLOMiss)
+		}
+	}
+	sum := r.Summary()
+	if sum.Shed != int64(len(reqs)) || sum.Routed != 0 {
+		t.Fatalf("shed %d routed %d, want %d/0", sum.Shed, sum.Routed, len(reqs))
+	}
+	if sum.SLOAttainment != 0 {
+		t.Fatalf("SLO attainment %.2f with everything shed", sum.SLOAttainment)
+	}
+	if sum.Completed != 0 || sum.TokensGenerated != 0 {
+		t.Fatalf("shed requests reached the engines: %d completed", sum.Completed)
+	}
+}
+
+// TestSLOReroutesOffOverloadedHome: a tight-but-achievable TTFT SLO makes
+// affinity routing abandon a prefix home whose modeled backlog has grown past
+// the SLO, re-prefilling on an idle replica instead — requests still all
+// complete, and the reroute counter records the decisions.
+func TestSLOReroutesOffOverloadedHome(t *testing.T) {
+	m := testModel()
+	// One shared document: pure affinity would pile everything on one home.
+	reqs := fleetLoad(1, 10)
+	r := NewRouter(m, Config{
+		Replicas: 2,
+		Engine:   serve.Config{Workers: 2, MaxBatch: 4, Seed: 5},
+		SLOTTFT:  0.05, // below one marginal request of modeled backlog
+		Seed:     5,
+	})
+	for i, resp := range r.Run(reqs) {
+		if resp.Err != nil {
+			t.Fatalf("request %d: %v", i, resp.Err)
+		}
+	}
+	sum := r.Summary()
+	r.Close()
+	if sum.Rerouted == 0 {
+		t.Fatal("no SLO reroute happened; backlog never exceeded the SLO or the SLO gate is dead")
+	}
+	if sum.Completed != uint64(len(reqs)) {
+		t.Fatalf("%d of %d completed after rerouting", sum.Completed, len(reqs))
+	}
+	// Rerouting must have put work on both replicas.
+	for i, rs := range sum.PerReplica {
+		if rs.Routed == 0 {
+			t.Fatalf("replica %d received nothing despite SLO rerouting", i)
+		}
+	}
+}
+
+// TestRouterReuseRebasesBacklog: a second Run on the same (drained) router
+// must not predict TTFT against the first batch's completed work. Before the
+// rebase, the load ledgers only ever grew, so a reused router under an SLO
+// spuriously shed requests on an idle fleet.
+func TestRouterReuseRebasesBacklog(t *testing.T) {
+	m := testModel()
+	reqs := fleetLoad(2, 8)
+	r := NewRouter(m, Config{
+		Replicas: 2,
+		Engine:   serve.Config{Workers: 1, MaxBatch: 4, Seed: 4},
+		SLOTTFT:  0.2, // fits one batch's modeled backlog, not two stacked
+		Shed:     true,
+		Seed:     4,
+	})
+	defer r.Close()
+	shedIn := func(resps []Response) int {
+		n := 0
+		for _, resp := range resps {
+			if errors.Is(resp.Err, ErrSLOShed) {
+				n++
+			}
+		}
+		return n
+	}
+	if n := shedIn(r.Run(reqs)); n != 0 {
+		t.Fatalf("first run shed %d requests; SLO too tight for the test's premise", n)
+	}
+	if n := shedIn(r.Run(reqs)); n != 0 {
+		t.Fatalf("second run on a drained fleet shed %d requests: backlog not rebased", n)
+	}
+	sum := r.Summary()
+	if sum.Routed != 16 || sum.Completed != 16 {
+		t.Fatalf("routed %d completed %d across two runs, want 16/16", sum.Routed, sum.Completed)
+	}
+}
+
+// TestStreamingSubmitCompletes: the live (non-deterministic) routing path —
+// residency probes, occupancy, TrySubmit failover under a tiny intake queue —
+// serves an open-loop stream completely and routes within the fleet.
+func TestStreamingSubmitCompletes(t *testing.T) {
+	m := testModel()
+	reqs := fleetLoad(2, 14)
+	r := NewRouter(m, Config{
+		Replicas: 2,
+		Engine:   serve.Config{Workers: 1, MaxBatch: 2, QueueCap: 1, Seed: 2},
+		Seed:     2,
+	})
+	var tickets []*Ticket
+	for _, req := range reqs {
+		tickets = append(tickets, r.Submit(req))
+	}
+	for i, tk := range tickets {
+		if tk.Replica < 0 || tk.Replica >= r.Replicas() {
+			t.Fatalf("ticket %d routed to replica %d of %d", i, tk.Replica, r.Replicas())
+		}
+		if resp := tk.Wait(); resp.Err != nil {
+			t.Fatalf("request %d failed: %v", i, resp.Err)
+		}
+	}
+	sum := r.Summary()
+	r.Close()
+	if sum.Routed != int64(len(reqs)) || sum.Shed != 0 {
+		t.Fatalf("routed %d shed %d, want %d/0", sum.Routed, sum.Shed, len(reqs))
+	}
+	if sum.Completed != uint64(len(reqs)) {
+		t.Fatalf("completed %d of %d", sum.Completed, len(reqs))
+	}
+}
+
+// TestRouterShutdownAborts: an expired context aborts outstanding work
+// across every replica and reports the context error.
+func TestRouterShutdownAborts(t *testing.T) {
+	m := testModel()
+	reqs := fleetLoad(2, 8)
+	for i := range reqs {
+		reqs[i].MaxNewTokens = 400 // long enough that shutdown lands mid-flight
+	}
+	r := NewRouter(m, Config{
+		Replicas: 2,
+		Engine:   serve.Config{Workers: 1, MaxBatch: 2, Seed: 1},
+		Seed:     1,
+	})
+	var tickets []*Ticket
+	for _, req := range reqs {
+		tickets = append(tickets, r.Submit(req))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.Shutdown(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Shutdown = %v, want context.Canceled", err)
+	}
+	aborted := 0
+	for _, tk := range tickets {
+		if resp := tk.Wait(); errors.Is(resp.Err, serve.ErrAborted) {
+			aborted++
+		}
+	}
+	if aborted == 0 {
+		t.Fatal("no request was aborted by an expired fleet shutdown")
+	}
+	for i := 0; i < r.Replicas(); i++ {
+		if lp := r.Engine(i).Arena().LivePages(); lp != 0 {
+			t.Fatalf("replica %d leaked %d arena pages after shutdown", i, lp)
+		}
+	}
+}

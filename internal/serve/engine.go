@@ -116,6 +116,13 @@ type Engine struct {
 
 	intake chan []*task
 
+	// resident is the router-facing prefix-residency index: the content hash
+	// of every prefix entry the scheduler currently holds (building or
+	// published). Maintained by the scheduler at entry creation/release;
+	// PrefixResident reads it lock-cheaply from any goroutine.
+	resMu    sync.RWMutex
+	resident map[uint64]struct{}
+
 	submitMu sync.Mutex
 	closed   bool
 	inflight sync.WaitGroup
@@ -161,6 +168,7 @@ type task struct {
 // prefixEntry is one cached shared-prefix prefill.
 type prefixEntry struct {
 	key      uint64 // map key (post-probing), for unpublishing on failure
+	chash    uint64 // content hash (pre-probing), the PrefixResident index key
 	tokens   []int
 	snap     *model.Snapshot // set by the builder's first step
 	ready    bool
@@ -190,12 +198,13 @@ func NewEngine(m *model.Model, cfg Config) *Engine {
 	mc := m.Config()
 	planes := int64(mc.NLayers * mc.NKVHeads)
 	e := &Engine{
-		m:      m,
-		cfg:    cfg,
-		planes: planes,
-		exact:  !cfg.WorstCaseAdmission,
-		intake: make(chan []*task, cfg.QueueCap),
-		done:   make(chan struct{}),
+		m:        m,
+		cfg:      cfg,
+		planes:   planes,
+		exact:    !cfg.WorstCaseAdmission,
+		intake:   make(chan []*task, cfg.QueueCap),
+		resident: make(map[uint64]struct{}),
+		done:     make(chan struct{}),
 	}
 	if e.exact {
 		capacity := cfg.KVBudget
@@ -259,6 +268,98 @@ func (e *Engine) Submit(req Request) *Ticket {
 	}
 	e.inflight.Done()
 	return tickets[0]
+}
+
+// TrySubmit is the non-blocking admission probe behind fleet routing: it
+// enqueues like Submit when the intake queue has room and reports ok=false —
+// without enqueuing, consuming a request id, or touching any counter — when
+// the engine is backpressured, so a router can immediately try another
+// replica instead of blocking on a saturated one. A closed engine and an
+// invalid request behave exactly like Submit: ok is true and the returned
+// ticket already carries the failure.
+func (e *Engine) TrySubmit(req Request) (*Ticket, bool) {
+	e.submitMu.Lock()
+	defer e.submitMu.Unlock()
+	if e.closed {
+		return failedTicket(0, ErrClosed), true
+	}
+	id := e.nextID + 1
+	ch := make(chan Response, 1)
+	tk := &Ticket{ID: id, ch: ch}
+	err := req.validate()
+	if err == nil && !tokensInRange(req.Prompt, e.m.Config().VocabSize) {
+		err = ErrBadRequest
+	}
+	if err != nil {
+		e.nextID = id
+		e.mx.submitted.Add(1)
+		e.mx.observeRejected()
+		ch <- Response{ID: id, Err: err}
+		return tk, true
+	}
+	// The send happens under submitMu, so closeIntake (which takes the mutex
+	// before closing) cannot race it; select-default keeps it non-blocking
+	// against concurrent blocking Submits that send outside the mutex.
+	select {
+	case e.intake <- []*task{{id: id, req: req, ch: ch, submitted: time.Now()}}:
+	default:
+		return nil, false // intake full: nothing consumed, nothing enqueued
+	}
+	e.nextID = id
+	e.mx.submitted.Add(1)
+	return tk, true
+}
+
+// PrefixResident reports whether the engine's prefix cache currently holds an
+// entry for the given content hash (see PrefixKey) — building or published.
+// Routers use it to place shared-prefix requests on the replica that already
+// paid the prefill. The answer is advisory: the scheduler may evict the entry
+// between the probe and admission, in which case the request simply rebuilds
+// it.
+func (e *Engine) PrefixResident(hash uint64) bool {
+	e.resMu.RLock()
+	defer e.resMu.RUnlock()
+	_, ok := e.resident[hash]
+	return ok
+}
+
+func (e *Engine) markResident(hash uint64) {
+	e.resMu.Lock()
+	e.resident[hash] = struct{}{}
+	e.resMu.Unlock()
+}
+
+func (e *Engine) unmarkResident(hash uint64) {
+	e.resMu.Lock()
+	delete(e.resident, hash)
+	e.resMu.Unlock()
+}
+
+// Occupancy is a point-in-time load probe for routers: scheduler gauges as of
+// the last round barrier plus the live arena footprint.
+type Occupancy struct {
+	// Queued and Active are the pending-queue depth and decoding-stream count
+	// observed at the most recent scheduler round (both 0 while the engine is
+	// fully idle).
+	Queued, Active int
+	// IntakeBacklog is the number of submission batches sitting in the intake
+	// queue right now, and IntakeCap its capacity: equal means TrySubmit would
+	// report backpressure.
+	IntakeBacklog, IntakeCap int
+	// LivePages is the arena's current deduplicated page footprint.
+	LivePages int64
+}
+
+// Occupancy returns the engine's current load gauges. Values are a consistent
+// enough snapshot for routing heuristics, not a synchronized one.
+func (e *Engine) Occupancy() Occupancy {
+	return Occupancy{
+		Queued:        int(e.mx.curQueued.Load()),
+		Active:        int(e.mx.curActive.Load()),
+		IntakeBacklog: len(e.intake),
+		IntakeCap:     cap(e.intake),
+		LivePages:     e.arena.LivePages(),
+	}
 }
 
 // Run submits the whole request set as one deterministic batch, waits for
@@ -375,6 +476,8 @@ func (e *Engine) loop() {
 	for {
 		// Intake: block only when fully idle; otherwise drain what's there.
 		if open && len(pending) == 0 && len(active) == 0 {
+			e.mx.curQueued.Store(0)
+			e.mx.curActive.Store(0)
 			batch, ok := <-e.intake
 			if !ok {
 				open = false
@@ -400,6 +503,8 @@ func (e *Engine) loop() {
 			active = nil
 		}
 		if len(pending) == 0 && len(active) == 0 {
+			e.mx.curQueued.Store(0)
+			e.mx.curActive.Store(0)
 			if !open {
 				e.releasePrefixes(prefixes)
 				return
@@ -571,6 +676,7 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 	t.reserved = cost
 	if newEntry != nil {
 		key := prefixKey(newEntry.tokens)
+		newEntry.chash = key
 		for {
 			if _, ok := prefixes[key]; !ok {
 				break
@@ -579,6 +685,7 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 		}
 		newEntry.key = key
 		prefixes[key] = newEntry
+		e.markResident(newEntry.chash)
 		entry = newEntry
 		t.builder = true
 	}
@@ -651,6 +758,7 @@ func (e *Engine) evictIdlePrefix(prefixes map[uint64]*prefixEntry) bool {
 // shared with live forks survive until those sequences retire, so evicting a
 // busy prefix never invalidates its descendants.
 func (e *Engine) releaseEntry(p *prefixEntry) {
+	e.unmarkResident(p.chash)
 	if p.cost > 0 {
 		e.acct.Release(p.cost)
 		p.cost = 0

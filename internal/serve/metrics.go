@@ -118,6 +118,9 @@ type engineMetrics struct {
 	submitted     atomic.Uint64
 	prefixEvicted atomic.Uint64
 	spilled       atomic.Int64
+	// curQueued/curActive are the last round barrier's scheduler gauges,
+	// exposed to routers through Engine.Occupancy (zeroed while idle).
+	curQueued, curActive atomic.Int64
 
 	mu                       sync.Mutex
 	completed, failed        uint64
@@ -149,6 +152,8 @@ func (x *engineMetrics) observeKV(used, devUsed, hostUsed int64) {
 }
 
 func (x *engineMetrics) observeRound(queued, active int) {
+	x.curQueued.Store(int64(queued))
+	x.curActive.Store(int64(active))
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	x.rounds++

@@ -151,6 +151,12 @@ func kvCost(r *Request, prefixShared bool) int64 {
 	return int64(l)
 }
 
+// PrefixKey content-addresses a shared prefix: the same hash the engine's
+// prefix cache is keyed by. Routers compute it over Prompt[:SharedPrefixLen]
+// and probe Engine.PrefixResident to find the replica that already holds the
+// prefill.
+func PrefixKey(tokens []int) uint64 { return prefixKey(tokens) }
+
 // prefixKey content-addresses a shared prefix with FNV-1a over its tokens.
 // Hits verify the actual tokens, so a collision can never alias prefills.
 func prefixKey(tokens []int) uint64 {

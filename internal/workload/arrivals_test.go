@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPoissonArrivalsDeterministic: identical (seed, n, rate) reproduce the
+// trace bit-for-bit; different seeds diverge.
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	a := PoissonArrivals(7, 200, 4)
+	b := PoissonArrivals(7, 200, 4)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := PoissonArrivals(8, 200, 4)
+	same := true
+	for i := range a {
+		if a[i].Gap != c[i].Gap {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical gap streams (suspicious)")
+	}
+}
+
+// TestPoissonArrivalsShape: gaps are positive with the configured mean (law
+// of large numbers tolerance), times are the cumulative gap sum, and rate<=0
+// degenerates to a closed-loop trace.
+func TestPoissonArrivalsShape(t *testing.T) {
+	const n, rate = 5000, 8.0
+	as := PoissonArrivals(3, n, rate)
+	sum := 0.0
+	prev := 0.0
+	for i, a := range as {
+		if a.Index != i {
+			t.Fatalf("arrival %d has Index %d", i, a.Index)
+		}
+		if a.Gap < 0 {
+			t.Fatalf("arrival %d has negative gap %v", i, a.Gap)
+		}
+		sum += a.Gap
+		if math.Abs(a.At-(prev+a.Gap)) > 1e-12 {
+			t.Fatalf("arrival %d: At %v is not prev %v + gap %v", i, a.At, prev, a.Gap)
+		}
+		if a.At < prev {
+			t.Fatalf("arrival %d: time went backwards (%v after %v)", i, a.At, prev)
+		}
+		prev = a.At
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.15/rate {
+		t.Fatalf("mean gap %v, want ~%v", mean, 1/rate)
+	}
+	for i, a := range PoissonArrivals(3, 16, 0) {
+		if a.Gap != 0 || a.At != 0 {
+			t.Fatalf("closed-loop arrival %d not at t=0: %+v", i, a)
+		}
+	}
+}
+
+// TestArrivalsReplayPreservesTaskOrder is the open-loop replay property test:
+// across many seeds, materialising a Poisson load's embedded gaps yields one
+// arrival per task, in the load's task order, at non-decreasing times that
+// are exactly the cumulative gaps — so replaying the trace submits tasks in
+// the same order the load defined, regardless of seed.
+func TestArrivalsReplayPreservesTaskOrder(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		lc := LoadConfig{
+			Doc:          DefaultDocConfig(),
+			NDocs:        3,
+			DocLen:       64,
+			NRequests:    40,
+			QuestionLen:  8,
+			MaxNewTokens: 4,
+			RatePerSec:   16,
+		}
+		lc.Doc.Seed = seed
+		load := NewLoad(lc)
+		as := Arrivals(load)
+		if len(as) != len(load) {
+			t.Fatalf("seed %d: %d arrivals for %d tasks", seed, len(as), len(load))
+		}
+		prev := 0.0
+		for i, a := range as {
+			if a.Index != i {
+				t.Fatalf("seed %d: arrival %d replays task %d (order broken)", seed, i, a.Index)
+			}
+			if a.Gap != load[i].Gap {
+				t.Fatalf("seed %d: arrival %d gap %v != load gap %v", seed, i, a.Gap, load[i].Gap)
+			}
+			if a.At < prev {
+				t.Fatalf("seed %d: arrival %d at %v before previous %v", seed, i, a.At, prev)
+			}
+			if math.Abs(a.At-(prev+a.Gap)) > 1e-12 {
+				t.Fatalf("seed %d: arrival %d At is not cumulative", seed, i)
+			}
+			prev = a.At
+		}
+		// Replaying the same seed reproduces the same arrival trace.
+		again := Arrivals(NewLoad(lc))
+		for i := range as {
+			if as[i] != again[i] {
+				t.Fatalf("seed %d: replay %d differs: %+v vs %+v", seed, i, as[i], again[i])
+			}
+		}
+	}
+}
