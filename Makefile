@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-seq test-xfer-race test-fleet vet race bench bench-smoke serve clean
+.PHONY: build test test-seq test-xfer-race test-fleet test-trace vet race bench bench-smoke bench-json serve clean
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,20 @@ test-fleet:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Tracing determinism lane: re-run the serve and fleet determinism suites
+# with the event tracer attached, locking the observability contract — a
+# traced run is token- and round-identical to an untraced run at the serial
+# schedule and under the race detector at GOMAXPROCS=2 (DESIGN.md §10).
+test-trace:
+	GOMAXPROCS=1 $(GO) test -count=1 -run 'Trace' ./internal/serve/ ./internal/fleet/ ./internal/obs/
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Trace' ./internal/serve/ ./internal/fleet/ ./internal/obs/
+
+# Machine-readable bench trajectory: BENCH_<exp>.json snapshots (typed
+# metrics + options + seed + commit) for the experiments with headline
+# numbers worth diffing across commits. Quick scale — not a measurement run.
+bench-json:
+	$(GO) run ./cmd/clusterkv-bench -exp fleet,pagedkv,overlap -json bench-out
 
 # Benchmark smoke lane: compile and run every benchmark in the module once,
 # so perf-critical paths (serve engine, paged arena, parallel kernels) cannot

@@ -25,6 +25,8 @@
 package clusterkv
 
 import (
+	"io"
+
 	"clusterkv/internal/attention"
 	"clusterkv/internal/baselines"
 	"clusterkv/internal/bench"
@@ -35,6 +37,7 @@ import (
 	"clusterkv/internal/memsim"
 	"clusterkv/internal/metrics"
 	"clusterkv/internal/model"
+	"clusterkv/internal/obs"
 	"clusterkv/internal/parallel"
 	"clusterkv/internal/serve"
 	"clusterkv/internal/workload"
@@ -291,6 +294,53 @@ func PoissonArrivals(seed uint64, n int, rate float64) []Arrival {
 // Arrivals materialises a load's embedded interarrival gaps as absolute
 // submission times.
 func Arrivals(load []QARequest) []Arrival { return workload.Arrivals(load) }
+
+// ---- Observability ----------------------------------------------------------
+
+// Tracer is the deterministic structured event recorder: a bounded ring of
+// typed events on the modeled clock (rounds, admissions, tiering, transfers,
+// fleet placement), shared by every replica of a run. Attach one via
+// EngineConfig.Trace (per-engine) or FleetConfig.Trace (fleet-wide).
+// Tracing never perturbs schedules: traced and untraced runs produce
+// identical token streams (locked by the determinism suites).
+type Tracer = obs.Tracer
+
+// TraceEvent is one recorded event.
+type TraceEvent = obs.Event
+
+// TraceEventType discriminates TraceEvent kinds.
+type TraceEventType = obs.EventType
+
+// TraceRecorder is the per-replica emission handle (zero allocation and a
+// single branch when disabled). The zero value is a disabled recorder.
+type TraceRecorder = obs.Recorder
+
+// TraceSink receives events synchronously as they are recorded.
+type TraceSink = obs.Sink
+
+// NewTracer builds a tracer with a ring of the given capacity (<= 0 picks
+// the default, obs.DefaultRingCapacity).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// WriteChromeTrace renders recorded events as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto (DESIGN.md §10).
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// MetricsRegistry is the unified labeled-metrics registry. Engine, fleet and
+// arena telemetry publish into one via their FillRegistry methods; WriteText
+// renders Prometheus-style text exposition.
+type MetricsRegistry = obs.Registry
+
+// MetricLabel is one name="value" metric label.
+type MetricLabel = obs.Label
+
+// NewMetricsRegistry builds an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ML builds a MetricLabel.
+func ML(name, value string) MetricLabel { return obs.L(name, value) }
 
 // ---- Intra-op parallelism ---------------------------------------------------
 

@@ -4,12 +4,14 @@
 //	clusterkv-bench -exp all                  # every experiment, quick scale
 //	clusterkv-bench -exp fig11a -ctx 32768    # paper-scale recall experiment
 //	clusterkv-bench -exp tab1 -markdown       # Table I as markdown
+//	clusterkv-bench -exp fleet -json bench/   # + machine-readable BENCH_fleet.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
@@ -23,10 +25,16 @@ func main() {
 		modelCtx = flag.Int("modelctx", 4096, "max context length for transformer-engine experiments")
 		seed     = flag.Uint64("seed", 1, "master seed")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		jsonDir  = flag.String("json", "", "also write a schema-versioned BENCH_<exp>.json snapshot per experiment into this directory")
 	)
 	flag.Parse()
 
 	opt := bench.Options{MaxCtx: *ctx, ModelCtx: *modelCtx, Seed: *seed}
+
+	commit := ""
+	if *jsonDir != "" {
+		commit = gitCommit()
+	}
 
 	runners := bench.Registry()
 	var ids []string
@@ -53,6 +61,24 @@ func main() {
 			}
 			fmt.Println()
 		}
+		if *jsonDir != "" {
+			path, err := bench.WriteSnapshot(*jsonDir, bench.NewSnapshot(id, commit, opt, reports))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "snapshot %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[%s snapshot -> %s]\n", id, path)
+		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// gitCommit best-effort resolves the working tree's commit for snapshot
+// provenance; "unknown" outside a git checkout.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }

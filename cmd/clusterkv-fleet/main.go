@@ -7,12 +7,15 @@
 //	clusterkv-fleet -replicas 8 -requests 64
 //	clusterkv-fleet -slo-ttft 150 -shed          # SLO-aware shedding (modeled ms)
 //	clusterkv-fleet -rate 8                      # open-loop Poisson arrivals (streaming path)
+//	clusterkv-fleet -trace out.json              # Chrome trace_event timeline (Perfetto)
+//	clusterkv-fleet -metrics -                   # text metrics exposition on stdout
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -21,25 +24,47 @@ import (
 
 func main() {
 	var (
-		replicas = flag.Int("replicas", 4, "engine replicas behind the router")
-		policy   = flag.String("policy", "affinity", "routing policy (affinity, rr, leastloaded, all)")
-		sloTTFT  = flag.Float64("slo-ttft", 0, "modeled TTFT SLO in milliseconds (0 = none)")
-		sloTBT   = flag.Float64("slo-tbt", 0, "modeled TBT SLO in milliseconds (0 = none)")
-		shed     = flag.Bool("shed", false, "shed requests predicted to miss -slo-ttft on every replica")
-		streams  = flag.Int("streams", 4, "per-replica concurrent decode streams (MaxBatch)")
-		workers  = flag.Int("workers", 0, "per-replica round fan-out (0 = GOMAXPROCS)")
-		kvBudget = flag.Int64("kvbudget", 0, "per-replica device KV budget in per-head token slots (0 = unlimited)")
-		requests = flag.Int("requests", 16, "total requests in the load")
-		docs     = flag.Int("docs", 4, "shared documents tenants ask about")
-		docLen   = flag.Int("doclen", 1024, "document length (tokens)")
-		qLen     = flag.Int("qlen", 32, "question suffix length (tokens)")
-		newTok   = flag.Int("newtokens", 24, "tokens generated per request")
-		budget   = flag.Int("budget", 256, "per-head KV budget for compressed methods")
-		method   = flag.String("method", "clusterkv", "compression method (clusterkv, quest, fullkv)")
-		rate     = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = deterministic closed-loop Run)")
-		seed     = flag.Uint64("seed", 1, "master seed")
+		replicas  = flag.Int("replicas", 4, "engine replicas behind the router")
+		policy    = flag.String("policy", "affinity", "routing policy (affinity, rr, leastloaded, all)")
+		sloTTFT   = flag.Float64("slo-ttft", 0, "modeled TTFT SLO in milliseconds (0 = none)")
+		sloTBT    = flag.Float64("slo-tbt", 0, "modeled TBT SLO in milliseconds (0 = none)")
+		shed      = flag.Bool("shed", false, "shed requests predicted to miss -slo-ttft on every replica")
+		streams   = flag.Int("streams", 4, "per-replica concurrent decode streams (MaxBatch)")
+		workers   = flag.Int("workers", 0, "per-replica round fan-out (0 = GOMAXPROCS)")
+		kvBudget  = flag.Int64("kvbudget", 0, "per-replica device KV budget in per-head token slots (0 = unlimited)")
+		requests  = flag.Int("requests", 16, "total requests in the load")
+		docs      = flag.Int("docs", 4, "shared documents tenants ask about")
+		docLen    = flag.Int("doclen", 1024, "document length (tokens)")
+		qLen      = flag.Int("qlen", 32, "question suffix length (tokens)")
+		newTok    = flag.Int("newtokens", 24, "tokens generated per request")
+		budget    = flag.Int("budget", 256, "per-head KV budget for compressed methods")
+		method    = flag.String("method", "clusterkv", "compression method (clusterkv, quest, fullkv)")
+		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = deterministic closed-loop Run)")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline (router lane + one lane per replica; with -policy all, the file holds the last policy's run)")
+		metricsTo = flag.String("metrics", "", "write text metrics exposition to this file after the run (\"-\" = stdout); one series set per policy, labeled policy=<name>")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f := mustCreate(*cpuProf)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	var tracer *clusterkv.Tracer
+	if *traceOut != "" {
+		tracer = clusterkv.NewTracer(0)
+	}
+	var reg *clusterkv.MetricsRegistry
+	if *metricsTo != "" {
+		reg = clusterkv.NewMetricsRegistry()
+	}
 
 	var sel func() clusterkv.Selector
 	switch strings.ToLower(*method) {
@@ -119,6 +144,11 @@ func main() {
 		}
 		ecfg.KVBudget = *kvBudget
 		ecfg.Seed = *seed
+		if tracer != nil {
+			// One policy per trace file: keep only the final policy's events
+			// so replica lanes don't interleave across runs.
+			tracer.Reset()
+		}
 		router := clusterkv.NewFleetRouter(m, clusterkv.FleetConfig{
 			Replicas: *replicas,
 			Policy:   p,
@@ -127,6 +157,7 @@ func main() {
 			SLOTBT:   *sloTBT / 1e3,
 			Shed:     *shed,
 			Seed:     *seed,
+			Trace:    tracer,
 		})
 		start := time.Now()
 		if *rate > 0 {
@@ -144,6 +175,9 @@ func main() {
 		elapsed := time.Since(start)
 		router.Close()
 		sum := router.Summary()
+		if reg != nil {
+			router.FillRegistry(reg, clusterkv.ML("policy", p.String()))
+		}
 		fmt.Printf("== policy %s ==\n%s\n", p, sum)
 		rows = append(rows, row{p.String(), sum, elapsed})
 	}
@@ -158,6 +192,48 @@ func main() {
 			s.ModelTTFT.P50*1e3, s.ModelTTFT.P95*1e3, s.ModelTBT.P50*1e3,
 			s.Balance, s.Shed, s.SLOAttainment*100)
 	}
+
+	if tracer != nil {
+		f := mustCreate(*traceOut)
+		err := clusterkv.WriteChromeTrace(f, tracer.Events())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events (%d dropped) -> %s\n",
+			tracer.Len(), tracer.Dropped(), *traceOut)
+	}
+	if reg != nil {
+		w := os.Stdout
+		if *metricsTo != "-" {
+			w = mustCreate(*metricsTo)
+			defer w.Close()
+		}
+		if err := reg.WriteText(w); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+	}
+	if *memProf != "" {
+		f := mustCreate(*memProf)
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+func mustCreate(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return f
 }
 
 func budgetStr(b int64) string {

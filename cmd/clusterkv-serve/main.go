@@ -8,12 +8,15 @@
 //	clusterkv-serve -streams 8 -requests 32 -doclen 2048
 //	clusterkv-serve -rate 4              # open-loop Poisson arrivals, 4 req/s
 //	clusterkv-serve -method clusterkv    # single method
+//	clusterkv-serve -trace out.json      # Chrome trace_event timeline (Perfetto)
+//	clusterkv-serve -metrics -           # text metrics exposition on stdout
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -71,11 +74,32 @@ func main() {
 		noPrefix  = flag.Bool("noprefixcache", false, "disable the shared-prefix prefill cache")
 		noSerial  = flag.Bool("noserial", false, "skip the serial one-at-a-time baseline")
 		verifyOut = flag.Bool("verify", true, "check engine outputs match serial decode token-for-token")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run (load in chrome://tracing or Perfetto); with -method all each method gets its own process lane")
+		metricsTo = flag.String("metrics", "", "write text metrics exposition to this file after the run (\"-\" = stdout); one series set per method, labeled method=<name>")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
 	if *intraOp > 0 {
 		clusterkv.SetIntraOpWorkers(*intraOp)
+	}
+	if *cpuProf != "" {
+		f := mustCreate(*cpuProf)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	var tracer *clusterkv.Tracer
+	if *traceOut != "" {
+		tracer = clusterkv.NewTracer(0)
+	}
+	var reg *clusterkv.MetricsRegistry
+	if *metricsTo != "" {
+		reg = clusterkv.NewMetricsRegistry()
 	}
 
 	lc := clusterkv.DefaultLoadConfig()
@@ -121,7 +145,7 @@ func main() {
 	}
 	var rows []row
 
-	for _, spec := range methods(*method) {
+	for mi, spec := range methods(*method) {
 		reqs := buildRequests(load, spec, *budget)
 
 		var serialSecs float64
@@ -147,11 +171,15 @@ func main() {
 		cfg.WorstCaseAdmission = *worstCase
 		cfg.NoPrefixCache = *noPrefix
 		cfg.Seed = *seed
+		cfg.Trace = tracer.Recorder(mi) // nil tracer -> disabled recorder
 		eng := clusterkv.NewEngine(m, cfg)
 		resps := dispatch(eng, reqs, load, *rate)
 		eng.Close() // drain (incl. the transfer worker) before the snapshot
 		mx := eng.Metrics()
 		arenaPeak := eng.Arena().PeakPages()
+		if reg != nil {
+			eng.FillRegistry(reg, clusterkv.ML("method", strings.ToLower(spec.name)))
+		}
 
 		failed, compared := 0, 0
 		match := "n/a"
@@ -226,6 +254,56 @@ func main() {
 		}
 		fmt.Printf("%-10s %12s %12.1f %9s %8.1fms %8.1fms %8.2fms %14d %6s\n",
 			r.name, serial, r.engineTokS, speedup, r.ttftP50, r.ttftP95, r.tokP50, r.prefillSaved, r.match)
+	}
+
+	if tracer != nil {
+		writeTrace(*traceOut, tracer)
+	}
+	if reg != nil {
+		writeMetrics(*metricsTo, reg)
+	}
+	if *memProf != "" {
+		f := mustCreate(*memProf)
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+func mustCreate(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return f
+}
+
+func writeTrace(path string, tracer *clusterkv.Tracer) {
+	f := mustCreate(path)
+	err := clusterkv.WriteChromeTrace(f, tracer.Events())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d events (%d dropped) -> %s\n",
+		tracer.Len(), tracer.Dropped(), path)
+}
+
+func writeMetrics(path string, reg *clusterkv.MetricsRegistry) {
+	w := os.Stdout
+	if path != "-" {
+		w = mustCreate(path)
+		defer w.Close()
+	}
+	if err := reg.WriteText(w); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+		os.Exit(1)
 	}
 }
 

@@ -100,6 +100,13 @@ func RunFleet(o Options) *Report {
 			affinity = sum
 		}
 		rep.Rows = append(rep.Rows, row(sum))
+		p := policy.String()
+		rep.AddMetric(p+".prefix_hit_rate", sum.PrefixHitRate(), "frac")
+		rep.AddMetric(p+".prefill_tokens", float64(sum.PrefillTokens), "tokens")
+		rep.AddMetric(p+".saved_prefill_pages", float64(sum.SavedPrefillPages), "pages")
+		rep.AddMetric(p+".model_ttft_p50", sum.ModelTTFT.P50*1e3, "ms")
+		rep.AddMetric(p+".model_ttft_p95", sum.ModelTTFT.P95*1e3, "ms")
+		rep.AddMetric(p+".balance", sum.Balance, "")
 	}
 
 	// SLO section: scale the fleet under a TTFT SLO with shedding.
@@ -124,6 +131,10 @@ func RunFleet(o Options) *Report {
 		rep.Notes = append(rep.Notes, fmt.Sprintf(
 			"slo %dms, affinity, %d replica(s): %.0f%% attainment, %d shed, %d rerouted",
 			int(sloTTFT*1e3), sr.replicas, sr.sum.SLOAttainment*100, sr.sum.Shed, sr.sum.Rerouted))
+		pre := fmt.Sprintf("slo.replicas_%d.", sr.replicas)
+		rep.AddMetric(pre+"attainment", sr.sum.SLOAttainment, "frac")
+		rep.AddMetric(pre+"shed", float64(sr.sum.Shed), "count")
+		rep.AddMetric(pre+"rerouted", float64(sr.sum.Rerouted), "count")
 	}
 	return rep
 }

@@ -170,6 +170,16 @@ func RunXferOverlap(o Options) *Report {
 			fmt.Sprintf("%d/%d", mx.KVDevicePeak, mx.KVCapacity),
 			fmt.Sprintf("%d/%d", mx.KVHostPeak, mx.KVHostCapacity),
 		})
+		key := "async"
+		if sync {
+			key = "sync"
+		}
+		rep.AddMetric(key+".tok_per_sec", tokS, "tok/s")
+		rep.AddMetric(key+".busy_ms", tr.BusySec*1e3, "ms")
+		rep.AddMetric(key+".exposed_ms", tr.ExposedSec*1e3, "ms")
+		rep.AddMetric(key+".hidden_frac", tr.HiddenFrac(), "frac")
+		rep.AddMetric(key+".prefetch_hit_rate", tr.PrefetchHitRate(), "frac")
+		rep.AddMetric(key+".kv_device_peak", float64(mx.KVDevicePeak), "slots")
 	}
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("load: %d requests, %d docs x %d tokens, %d-token questions, %d new tokens, budget %d",

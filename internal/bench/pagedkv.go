@@ -110,6 +110,18 @@ func RunPagedKV(o Options) *Report {
 				fmt.Sprintf("%d", oc.mx.Rounds),
 				f1(oc.mx.Throughput()),
 			})
+			key := "generous."
+			if budget == tight {
+				key = "tight."
+			}
+			if worstCase {
+				key += "worstcase."
+			} else {
+				key += "exact."
+			}
+			rep.AddMetric(key+"admitted", float64(oc.admitted), "count")
+			rep.AddMetric(key+"refused", float64(oc.refused), "count")
+			rep.AddMetric(key+"kv_peak", float64(oc.mx.KVPeak), "slots")
 		}
 	}
 	rep.Notes = append(rep.Notes,
@@ -141,6 +153,7 @@ func RunPagedKV(o Options) *Report {
 		"fork divergence: %d forks of a %d-token doc, %d-token divergent tails -> %d live pages vs %d for per-fork copies (%.1fx dedup)",
 		forks, len(divDoc), len(answer), live, forks*perCopyPages,
 		float64(forks*perCopyPages)/float64(live)))
+	rep.AddMetric("fork_dedup_ratio", float64(forks*perCopyPages)/float64(live), "")
 	for i := range seqs {
 		seqs[i].Release()
 	}

@@ -5,8 +5,23 @@ import (
 	"strings"
 )
 
+// Metric is one typed headline value of an experiment — the machine-readable
+// counterpart to a formatted table cell, emitted into the BENCH_<exp>.json
+// trajectory snapshots that re-anchors diff against.
+type Metric struct {
+	// Name identifies the metric within the report, dotted lowercase
+	// ("affinity.prefix_hit_rate").
+	Name string `json:"name"`
+	// Value is the measurement.
+	Value float64 `json:"value"`
+	// Unit is the value's unit ("tokens", "pages", "ms", "frac", "count");
+	// empty for dimensionless ratios.
+	Unit string `json:"unit,omitempty"`
+}
+
 // Report is a uniformly formatted experiment result: a titled table plus
-// free-form notes (paper-vs-measured commentary).
+// free-form notes (paper-vs-measured commentary) and typed headline metrics
+// for the JSON trajectory.
 type Report struct {
 	// ID is the experiment identifier ("fig9", "tab1", ...).
 	ID string
@@ -18,6 +33,14 @@ type Report struct {
 	Rows [][]string
 	// Notes carry commentary lines (calibration, paper comparison).
 	Notes []string
+	// Metrics are the report's typed headline values (may be empty for
+	// table-only experiments).
+	Metrics []Metric
+}
+
+// AddMetric appends one typed metric.
+func (r *Report) AddMetric(name string, value float64, unit string) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value, Unit: unit})
 }
 
 // String renders the report as an ASCII table.

@@ -40,6 +40,7 @@ import (
 	"clusterkv/internal/memsim"
 	"clusterkv/internal/metrics"
 	"clusterkv/internal/model"
+	"clusterkv/internal/obs"
 	"clusterkv/internal/serve"
 )
 
@@ -116,6 +117,12 @@ type Config struct {
 	// Seed salts the consistent-hash tiebreaker (placement stays
 	// deterministic per seed).
 	Seed uint64
+	// Trace, when non-nil, receives structured trace events from the router
+	// (fleet place/reroute/shed on lane -1) and from every replica engine
+	// (each on its replica index lane; Config.Engine.Trace is overridden).
+	// Tracing never changes placement or scheduling — the traced-vs-untraced
+	// fleet determinism suite locks this.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns a 2-replica affinity-routing fleet over default
@@ -201,6 +208,11 @@ type Router struct {
 	sloMissed, sloJudged int64
 	modelTTFT, modelTBT  metrics.Summary
 
+	// rec is the router's own trace lane (-1); placeSeq numbers streaming
+	// placements (under mu) so Submit events carry a submission index too.
+	rec      obs.Recorder
+	placeSeq uint64
+
 	closeOnce sync.Once
 }
 
@@ -234,6 +246,7 @@ func NewRouter(m *model.Model, cfg Config) *Router {
 		prefixHome: make(map[uint64]int),
 		charged:    make(map[prefixOn]int64),
 	}
+	r.rec = cfg.Trace.Recorder(-1) // nil-safe: disabled on a nil tracer
 	r.engines = make([]*serve.Engine, cfg.Replicas)
 	r.assignedReqs = make([]int64, cfg.Replicas)
 	r.assignedPages = make([]int64, cfg.Replicas)
@@ -244,6 +257,7 @@ func NewRouter(m *model.Model, cfg Config) *Router {
 		// Replica 0 keeps the base seed exactly (XOR with 0), preserving the
 		// 1-replica ≡ Engine.Run contract; others get independent streams.
 		ecfg.Seed = cfg.Engine.Seed ^ (uint64(i) * 0x9e3779b97f4a7c15)
+		ecfg.Trace = cfg.Trace.Recorder(i)
 		r.engines[i] = serve.NewEngine(m, ecfg)
 	}
 	return r
@@ -482,6 +496,7 @@ func (r *Router) Run(reqs []serve.Request) []Response {
 	for i := range reqs {
 		p := r.place(&reqs[i])
 		places[i] = p
+		r.placeSeq++
 		if p.shed {
 			r.shed++
 			r.sloJudged++
@@ -490,11 +505,17 @@ func (r *Router) Run(reqs []serve.Request) []Response {
 				Response: serve.Response{Err: ErrSLOShed},
 				Replica:  -1, ModelTTFT: p.predTTFT, SLOMiss: true,
 			}
+			r.rec.Emit(obs.Event{Type: obs.EvFleetShed, Req: uint64(i),
+				N: -1, Sec: p.predTTFT})
 			continue
 		}
 		if p.rerouted {
 			r.rerouted++
+			r.rec.Emit(obs.Event{Type: obs.EvFleetReroute, Req: uint64(i),
+				N: int64(p.replica), Sec: p.predTTFT})
 		}
+		r.rec.Emit(obs.Event{Type: obs.EvFleetPlace, Req: uint64(i),
+			N: int64(p.replica), Aux: int64(p.margToks), Sec: p.predTTFT})
 		perRep[p.replica] = append(perRep[p.replica], i)
 	}
 	r.mu.Unlock()
@@ -700,6 +721,9 @@ func (r *Router) Submit(req serve.Request) *Ticket {
 		r.shed++
 		r.sloJudged++
 		r.sloMissed++
+		seq := r.placeSeq
+		r.placeSeq++
+		r.rec.Emit(obs.Event{Type: obs.EvFleetShed, Req: seq, N: -1, Sec: minPred})
 		r.mu.Unlock()
 		return &Ticket{Replica: -1, PredTTFT: minPred, shed: &Response{
 			Response: serve.Response{Err: ErrSLOShed},
@@ -728,6 +752,10 @@ func (r *Router) Submit(req serve.Request) *Ticket {
 		}
 		r.modelTTFT.Add(preds[i])
 		r.modelTBT.Add(predTBT)
+		seq := r.placeSeq
+		r.placeSeq++
+		r.rec.Emit(obs.Event{Type: obs.EvFleetPlace, Req: seq,
+			N: int64(c.rep), Aux: int64(marg), Sec: preds[i]})
 		r.mu.Unlock()
 		return &Ticket{Replica: c.rep, PredTTFT: preds[i], predTBT: predTBT, sloMiss: sloMiss, tk: tk}
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"clusterkv/internal/metrics"
+	"clusterkv/internal/obs"
 	"clusterkv/internal/serve"
 )
 
@@ -138,6 +139,49 @@ func (r *Router) Summary() Summary {
 		s.Balance = float64(maxRouted) * float64(s.Replicas) / float64(s.Routed)
 	}
 	return s
+}
+
+// FillRegistry publishes the router's current Summary into reg under the
+// clusterkv_fleet_* namespace, then each replica engine's full serve view
+// under a replica label — one registry sees the whole fleet. Like the serve
+// view it is snapshot-in, never read-back, and safe at any cadence.
+func (r *Router) FillRegistry(reg *obs.Registry, labels ...obs.Label) {
+	s := r.Summary()
+	cnt := func(name string, v int64) { reg.Counter(name, labels...).Set(v) }
+	gauge := func(name string, v float64) { reg.Gauge(name, labels...).Set(v) }
+	gauge("clusterkv_fleet_replicas", float64(s.Replicas))
+	cnt("clusterkv_fleet_routed_total", s.Routed)
+	cnt("clusterkv_fleet_shed_total", s.Shed)
+	cnt("clusterkv_fleet_rerouted_total", s.Rerouted)
+	cnt("clusterkv_fleet_saved_prefill_tokens_total", s.SavedPrefillTokens)
+	cnt("clusterkv_fleet_saved_prefill_pages_total", s.SavedPrefillPages)
+	gauge("clusterkv_fleet_prefix_hit_rate", s.PrefixHitRate())
+	gauge("clusterkv_fleet_balance", s.Balance)
+	gauge("clusterkv_fleet_slo_attainment", s.SLOAttainment)
+	fill := func(l serve.LatencyStats, name, stat string) {
+		ls := append(append([]obs.Label(nil), labels...), obs.L("stat", stat))
+		switch stat {
+		case "count":
+			reg.Gauge(name, ls...).Set(float64(l.N))
+		case "mean":
+			reg.Gauge(name, ls...).Set(l.Mean)
+		case "p50":
+			reg.Gauge(name, ls...).Set(l.P50)
+		case "p95":
+			reg.Gauge(name, ls...).Set(l.P95)
+		case "max":
+			reg.Gauge(name, ls...).Set(l.Max)
+		}
+	}
+	for _, stat := range []string{"count", "mean", "p50", "p95", "max"} {
+		fill(s.ModelTTFT, "clusterkv_fleet_model_ttft_seconds", stat)
+		fill(s.ModelTBT, "clusterkv_fleet_model_tbt_seconds", stat)
+	}
+	for i, e := range r.engines {
+		rl := append(append([]obs.Label(nil), labels...), obs.L("replica", fmt.Sprint(i)))
+		e.FillRegistry(reg, rl...)
+		reg.Counter("clusterkv_fleet_replica_routed_total", rl...).Set(s.PerReplica[i].Routed)
+	}
 }
 
 // String formats the snapshot as a small report: fleet aggregates plus one

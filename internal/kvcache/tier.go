@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"clusterkv/internal/obs"
 )
 
 // Tier identifies where the simulated copy of a KV page resides.
@@ -75,6 +77,7 @@ type Ledger struct {
 	prefetchHits    int64
 	prefetchDropped int64
 	sink            *xferCounters
+	rec             obs.Recorder
 
 	// devCap caps device-resident pages (0 = unlimited); devPages is the
 	// current device-resident page count.
@@ -332,7 +335,7 @@ func (l *Ledger) fetchPagesLocked(pages []int) int {
 func (l *Ledger) PrefetchPages(pages []int) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	moved := 0
+	moved, dropped := 0, 0
 	for _, pg := range pages {
 		if pg < 0 || pg >= len(l.tiers) || l.tiers[pg] == TierDevice {
 			continue
@@ -342,6 +345,7 @@ func (l *Ledger) PrefetchPages(pages []int) int {
 			if l.sink != nil {
 				l.sink.dropped.Add(1)
 			}
+			dropped++
 			continue
 		}
 		l.promote(pg)
@@ -355,13 +359,23 @@ func (l *Ledger) PrefetchPages(pages []int) int {
 		l.lastUse[pg] = l.clock
 		l.clock++
 	}
+	if l.rec.Enabled() {
+		if moved > 0 {
+			l.rec.Emit(obs.Event{Type: obs.EvPrefetchLand, N: int64(moved)})
+		}
+		if dropped > 0 {
+			l.rec.Emit(obs.Event{Type: obs.EvPrefetchDrop, N: int64(dropped)})
+		}
+	}
 	return moved
 }
 
-// setSink attaches the runtime-wide prefetch telemetry sink.
-func (l *Ledger) setSink(s *xferCounters) {
+// setSink attaches the runtime-wide prefetch telemetry sink and trace
+// recorder.
+func (l *Ledger) setSink(s *xferCounters, rec obs.Recorder) {
 	l.mu.Lock()
 	l.sink = s
+	l.rec = rec
 	l.mu.Unlock()
 }
 

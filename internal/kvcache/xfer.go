@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"clusterkv/internal/metrics"
+	"clusterkv/internal/obs"
 	"clusterkv/internal/parallel"
 )
 
@@ -65,6 +66,11 @@ type TransferRuntime struct {
 	// serviced; ledgers increment it directly (atomics — the ledger lock is
 	// held when they fire, so no lock ordering with rt.mu).
 	pf xferCounters
+
+	// rec, when enabled via SetTrace, receives transfer start/complete and
+	// prefetch issue/land/drop events. Written once before any traffic (see
+	// SetTrace), so the untracked reads on the request paths are race-free.
+	rec obs.Recorder
 }
 
 // xferCounters is the runtime-wide prefetch telemetry sink ledgers feed.
@@ -110,6 +116,13 @@ func NewTransferRuntime(ch Channel, sync, throttle bool) *TransferRuntime {
 // Sync reports whether the runtime services requests inline.
 func (rt *TransferRuntime) Sync() bool { return rt.syncMode }
 
+// SetTrace attaches a trace recorder emitting transfer and prefetch events
+// (obs.EvTransferStart/Complete on the modeled channel clock, prefetch
+// issue/land/drop from the serviced ledgers). It must be called before any
+// transfer traffic — the engine wires it during construction — because the
+// recorder is read without synchronization on the request paths.
+func (rt *TransferRuntime) SetTrace(rec obs.Recorder) { rt.rec = rec }
+
 // Close stops the background worker after draining queued requests. Requests
 // enqueued after Close are serviced inline; Close is idempotent.
 func (rt *TransferRuntime) Close() {
@@ -136,7 +149,7 @@ func (rt *TransferRuntime) Close() {
 // needs no ready channel and reuses the ledger's page scratch: the hot
 // decode path allocates nothing here.
 func (rt *TransferRuntime) Fetch(l *Ledger, positions []int) *Transfer {
-	l.setSink(&rt.pf)
+	l.setSink(&rt.pf, rt.rec)
 	t := &Transfer{rt: rt, ledger: l, pages: l.pagesForFetch(positions)}
 	rt.service([]*Transfer{t})
 	return t
@@ -148,8 +161,11 @@ func (rt *TransferRuntime) Fetch(l *Ledger, positions []int) *Transfer {
 // time. The returned Transfer should be waited before the layer's exact
 // Select runs, so residency the selector observes is deterministic.
 func (rt *TransferRuntime) Prefetch(l *Ledger, positions []int) *Transfer {
-	l.setSink(&rt.pf)
+	l.setSink(&rt.pf, rt.rec)
 	t := &Transfer{rt: rt, ledger: l, pages: l.PagesOf(positions, nil), prefetch: true, ready: make(chan struct{})}
+	if rt.rec.Enabled() {
+		rt.rec.Emit(obs.Event{Type: obs.EvPrefetchIssue, N: int64(len(t.pages))})
+	}
 	rt.enqueue(t)
 	return t
 }
@@ -266,9 +282,24 @@ func (rt *TransferRuntime) service(batch []*Transfer) {
 		t.modeled = dur
 		t.deadline = start.Add(time.Duration(dur * float64(time.Second)))
 		rt.chanFree = t.deadline
+		startSec := rt.busySec // channel-busy offset this transfer starts at
 		rt.transfers++
 		rt.pages += int64(t.moved)
 		rt.busySec += dur
+		if rt.rec.Enabled() {
+			var kind int64
+			switch {
+			case t.acctOnly > 0:
+				kind = 2
+			case t.prefetch:
+				kind = 1
+			}
+			seq := uint64(rt.transfers)
+			rt.rec.Emit(obs.Event{Type: obs.EvTransferStart,
+				Req: seq, N: int64(t.moved), Sec: startSec, Aux: kind})
+			rt.rec.Emit(obs.Event{Type: obs.EvTransferComplete,
+				Req: seq, N: int64(t.moved), Sec: startSec, Dur: dur, Aux: kind})
+		}
 		if rt.syncMode {
 			// The synchronous baseline exposes every modeled second by
 			// definition; Wait then only sleeps (throttle) without

@@ -46,6 +46,58 @@ func TestSummaryAddAfterQuantile(t *testing.T) {
 	}
 }
 
+func TestSummarySingleSample(t *testing.T) {
+	var s Summary
+	s.Add(7)
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Fatalf("n=1: Quantile(%v) = %v, want the single sample", q, got)
+		}
+	}
+	if s.Min() != 7 || s.Max() != 7 || s.Mean() != 7 {
+		t.Fatalf("n=1: min=%v max=%v mean=%v", s.Min(), s.Max(), s.Mean())
+	}
+}
+
+func TestSummaryDuplicates(t *testing.T) {
+	var s Summary
+	for i := 0; i < 6; i++ {
+		s.Add(2)
+	}
+	s.Add(8)
+	// Every quantile below the top rank lands on the duplicated value and
+	// interpolation across equal samples must stay exact.
+	for _, q := range []float64{0, 0.5, 0.8} {
+		if got := s.Quantile(q); got != 2 {
+			t.Fatalf("Quantile(%v) = %v, want 2", q, got)
+		}
+	}
+	if got := s.Quantile(1); got != 8 {
+		t.Fatalf("Quantile(1) = %v, want 8", got)
+	}
+}
+
+func TestSummaryQuantileBounds(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(3)
+	// Out-of-range q clamps to the extremes rather than indexing out of
+	// bounds or extrapolating.
+	if got := s.Quantile(-0.5); got != 1 {
+		t.Fatalf("Quantile(-0.5) = %v, want min", got)
+	}
+	if got := s.Quantile(1.5); got != 3 {
+		t.Fatalf("Quantile(1.5) = %v, want max", got)
+	}
+	// q just under 1 interpolates inside the top interval, never past it.
+	if got := s.Quantile(0.999); got <= 1 || got > 3 {
+		t.Fatalf("Quantile(0.999) = %v, want within (1, 3]", got)
+	}
+	if got := s.Quantile(0.5); got != 2 {
+		t.Fatalf("Quantile(0.5) = %v, want midpoint 2", got)
+	}
+}
+
 func TestSummaryMerge(t *testing.T) {
 	var a, b Summary
 	a.Add(1)

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event exporter: renders a recorded event stream as the JSON
+// object format chrome://tracing and Perfetto load (traceEvents array plus
+// displayTimeUnit). The timeline is the *modeled* one, not wall clock:
+//
+//   - each replica becomes one process (pid), the fleet router pid 0;
+//   - the scheduler lane renders rounds as back-to-back slices on the round
+//     clock (one round = RoundUsec microseconds) with admissions, retirements
+//     and prefix-cache traffic as instants inside their round;
+//   - the transfer lane renders serviced transfers as slices on the modeled
+//     PCIe channel clock (cumulative channel-busy seconds), so gaps are
+//     genuine channel idle time;
+//   - the tiering and prefetch lanes render spills/promotes and layer-ahead
+//     prefetch traffic as instants;
+//   - round-end gauges become counter tracks (device/host resident slots).
+//
+// The two clocks (round index, channel seconds) share one timeline; both
+// start at zero, so lanes line up qualitatively — the export is a schedule
+// viewer, not a latency profile.
+
+// RoundUsec is the rendered width of one scheduler round in trace
+// microseconds.
+const RoundUsec = 1000
+
+// Thread-lane ids within each replica process.
+const (
+	laneRounds = 1 + iota
+	laneSched
+	laneTransfers
+	laneTiering
+	lanePrefetch
+)
+
+// chromeEvent is one trace_event record. Fields follow the Trace Event
+// Format; Scope/Args are optional.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// pidOf maps a replica lane to a trace process id: router (-1) → 0,
+// replica i → i+1.
+func pidOf(replica int) int { return replica + 1 }
+
+func meta(name string, pid, tid int, value string) chromeEvent {
+	args := map[string]any{"name": value}
+	return chromeEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: args}
+}
+
+// WriteChromeTrace renders events as Chrome trace_event JSON. Events may
+// come straight from Tracer.Events; ordering within a lane follows the
+// modeled clocks, not slice order.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var out []chromeEvent
+
+	// Metadata: name every process and lane we will touch.
+	pids := map[int]bool{}
+	for _, ev := range events {
+		pids[pidOf(ev.Replica)] = true
+	}
+	var pidList []int
+	for pid := range pids {
+		pidList = append(pidList, pid)
+	}
+	sort.Ints(pidList)
+	for _, pid := range pidList {
+		pname := fmt.Sprintf("replica %d", pid-1)
+		if pid == 0 {
+			pname = "fleet router"
+		}
+		out = append(out, meta("process_name", pid, 0, pname))
+		for tid, lname := range map[int]string{
+			laneRounds:    "rounds (round clock)",
+			laneSched:     "scheduler events",
+			laneTransfers: "pcie transfers (channel clock)",
+			laneTiering:   "tier spill/promote",
+			lanePrefetch:  "layer-ahead prefetch",
+		} {
+			out = append(out, meta("thread_name", pid, tid, lname))
+		}
+	}
+	// Deterministic metadata order (map iteration above is not).
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pid != out[j].Pid {
+			return out[i].Pid < out[j].Pid
+		}
+		return out[i].Tid < out[j].Tid
+	})
+
+	roundTs := func(round int64) float64 {
+		if round < 1 {
+			round = 1
+		}
+		return float64(round-1) * RoundUsec
+	}
+	instant := func(ev Event, tid int, name string, args map[string]any) chromeEvent {
+		return chromeEvent{Name: name, Ph: "i", Ts: roundTs(ev.Round),
+			Pid: pidOf(ev.Replica), Tid: tid, Scope: "t", Args: args}
+	}
+
+	for _, ev := range events {
+		pid := pidOf(ev.Replica)
+		switch ev.Type {
+		case EvRoundBegin:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("round %d", ev.Round), Ph: "X",
+				Ts: roundTs(ev.Round), Dur: RoundUsec, Pid: pid, Tid: laneRounds,
+				Args: map[string]any{"active": ev.N, "queued": ev.Aux},
+			})
+		case EvRoundEnd:
+			out = append(out, chromeEvent{
+				Name: "kv resident slots", Ph: "C",
+				Ts: roundTs(ev.Round) + RoundUsec, Pid: pid, Tid: 0,
+				Args: map[string]any{"device": ev.N, "host": ev.Aux},
+			})
+		case EvAdmit:
+			out = append(out, instant(ev, laneSched, "admit",
+				map[string]any{"req": ev.Req, "hold_slots": ev.N, "prefix": ev.Aux}))
+		case EvRefuse:
+			out = append(out, instant(ev, laneSched, "refuse",
+				map[string]any{"req": ev.Req, "need_slots": ev.N}))
+		case EvRetire:
+			out = append(out, instant(ev, laneSched, "retire",
+				map[string]any{"req": ev.Req, "tokens": ev.N, "failed": ev.Aux != 0}))
+		case EvPrefixHit:
+			out = append(out, instant(ev, laneSched, "prefix-hit",
+				map[string]any{"req": ev.Req, "prefix_tokens": ev.N}))
+		case EvPrefixMiss:
+			out = append(out, instant(ev, laneSched, "prefix-miss",
+				map[string]any{"req": ev.Req, "prefix_tokens": ev.N}))
+		case EvPrefixEvict:
+			out = append(out, instant(ev, laneSched, "prefix-evict",
+				map[string]any{"released_slots": ev.N}))
+		case EvPageSpill:
+			out = append(out, instant(ev, laneTiering, "spill",
+				map[string]any{"slots": ev.N}))
+		case EvPagePromote:
+			out = append(out, instant(ev, laneTiering, "promote",
+				map[string]any{"slots": ev.N}))
+		case EvPrefetchIssue:
+			out = append(out, instant(ev, lanePrefetch, "prefetch-issue",
+				map[string]any{"pages": ev.N}))
+		case EvPrefetchLand:
+			out = append(out, instant(ev, lanePrefetch, "prefetch-land",
+				map[string]any{"pages": ev.N}))
+		case EvPrefetchDrop:
+			out = append(out, instant(ev, lanePrefetch, "prefetch-drop",
+				map[string]any{"pages": ev.N}))
+		case EvTransferComplete:
+			kind := "fetch"
+			switch ev.Aux {
+			case 1:
+				kind = "prefetch"
+			case 2:
+				kind = "offload"
+			}
+			dur := ev.Dur * 1e6
+			if dur <= 0 {
+				dur = 1 // zero-cost transfers still get a visible sliver
+			}
+			out = append(out, chromeEvent{
+				Name: kind, Ph: "X", Ts: ev.Sec * 1e6, Dur: dur,
+				Pid: pid, Tid: laneTransfers,
+				Args: map[string]any{"xfer": ev.Req, "pages": ev.N},
+			})
+		case EvTransferStart:
+			// Rendered via the matching EvTransferComplete slice.
+		case EvFleetPlace:
+			out = append(out, chromeEvent{
+				Name: "place", Ph: "i", Ts: float64(ev.Req) * RoundUsec,
+				Pid: pid, Tid: laneSched, Scope: "t",
+				Args: map[string]any{"req": ev.Req, "replica": ev.N,
+					"marginal_tokens": ev.Aux, "pred_ttft_sec": ev.Sec},
+			})
+		case EvFleetReroute:
+			out = append(out, chromeEvent{
+				Name: "reroute", Ph: "i", Ts: float64(ev.Req) * RoundUsec,
+				Pid: pid, Tid: laneSched, Scope: "t",
+				Args: map[string]any{"req": ev.Req, "replica": ev.N,
+					"pred_ttft_sec": ev.Sec},
+			})
+		case EvFleetShed:
+			out = append(out, chromeEvent{
+				Name: "shed", Ph: "i", Ts: float64(ev.Req) * RoundUsec,
+				Pid: pid, Tid: laneSched, Scope: "t",
+				Args: map[string]any{"req": ev.Req, "pred_ttft_sec": ev.Sec},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

@@ -13,6 +13,7 @@ import (
 	"clusterkv/internal/kvcache"
 	"clusterkv/internal/memsim"
 	"clusterkv/internal/model"
+	"clusterkv/internal/obs"
 	"clusterkv/internal/parallel"
 	"clusterkv/internal/rng"
 )
@@ -82,6 +83,14 @@ type Config struct {
 	NoPrefixCache bool
 	// Seed drives sampling and any tie-breaking, making runs reproducible.
 	Seed uint64
+	// Trace, when enabled (obs.Tracer.Recorder), receives the engine's
+	// structured trace events: round begin/end, admit/refuse/retire,
+	// prefix-cache traffic, tier spill/promote, and — through the transfer
+	// runtime — modeled PCIe transfers and layer-ahead prefetch. The zero
+	// value is disabled and costs a nil check per emission site. Tracing
+	// never changes scheduling: traced and untraced runs produce identical
+	// tokens, rounds and metrics (locked by the determinism suites).
+	Trace obs.Recorder
 }
 
 // DefaultConfig returns the default engine configuration.
@@ -130,6 +139,10 @@ type Engine struct {
 
 	abort atomic.Bool
 	done  chan struct{}
+
+	// rec is the trace hook (Config.Trace). Scheduler-side events fire only
+	// on the loop goroutine; the transfer runtime carries its own copy.
+	rec obs.Recorder
 
 	mx engineMetrics
 }
@@ -231,6 +244,8 @@ func NewEngine(m *model.Model, cfg Config) *Engine {
 	}
 	e.rt = kvcache.NewTransferRuntime(kvcache.Channel{SecPerPage: secPerPage},
 		cfg.SyncTransfers, cfg.ThrottleTransfers)
+	e.rec = cfg.Trace
+	e.rt.SetTrace(cfg.Trace) // before loop starts: the runtime reads it unlocked
 	go e.loop()
 	return e
 }
@@ -528,6 +543,8 @@ func (e *Engine) loop() {
 			active = append(active, t)
 		}
 		e.mx.observeRound(len(pending), len(active))
+		e.rec.Emit(obs.Event{Type: obs.EvRoundBegin, Round: round,
+			N: int64(len(active)), Aux: int64(len(pending))})
 		if len(active) == 0 {
 			// Nothing runnable this round. With correct accounting this is
 			// unreachable while requests are pending (retirement or prefix
@@ -551,6 +568,8 @@ func (e *Engine) loop() {
 		// unlike the accountant's internal peak, which can catch transient
 		// COW release/alloc interleavings in either order.
 		e.mx.observeKV(e.acct.Used(), e.acct.DeviceUsed(), e.acct.HostUsed())
+		e.rec.Emit(obs.Event{Type: obs.EvRoundEnd, Round: round,
+			N: e.kvUnits(e.acct.DeviceUsed()), Aux: e.kvUnits(e.acct.HostUsed())})
 
 		// Post-round: publish built prefixes, retire finished tasks. A
 		// builder that failed before its snapshot existed unpublishes the
@@ -668,6 +687,8 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 		// never be admitted; anything smaller waits for retirements (and,
 		// with a host tier, for spills) to free room.
 		if cap := e.acct.TotalCapacity(); cap > 0 && need > cap {
+			e.rec.Emit(obs.Event{Type: obs.EvRefuse, Round: round,
+				Req: t.id, N: e.kvUnits(need)})
 			e.retire(t, round, ErrTooLarge)
 			return admitFailed
 		}
@@ -703,6 +724,21 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 		t.sampler = rng.New(e.cfg.Seed ^ (t.id * 0x9e3779b97f4a7c15))
 	}
 	e.mx.observeAdmit(t)
+	if e.rec.Enabled() {
+		var disp int64 // prefix disposition: 0 none, 1 hit, 2 builds
+		switch {
+		case t.builder:
+			disp = 2
+			e.rec.Emit(obs.Event{Type: obs.EvPrefixMiss, Round: round,
+				Req: t.id, N: int64(r.SharedPrefixLen)})
+		case t.entry != nil:
+			disp = 1
+			e.rec.Emit(obs.Event{Type: obs.EvPrefixHit, Round: round,
+				Req: t.id, N: int64(r.SharedPrefixLen)})
+		}
+		e.rec.Emit(obs.Event{Type: obs.EvAdmit, Round: round,
+			Req: t.id, N: e.kvUnits(cost), Aux: disp})
+	}
 	return admitOK
 }
 
@@ -748,8 +784,10 @@ func (e *Engine) evictIdlePrefix(prefixes map[uint64]*prefixEntry) bool {
 		return false
 	}
 	delete(prefixes, victimKey)
+	released := victim.cost // 0 under exact accounting: pages free on release
 	e.releaseEntry(victim)
 	e.mx.prefixEvicted.Add(1)
+	e.rec.Emit(obs.Event{Type: obs.EvPrefixEvict, N: e.kvUnits(released)})
 	return true
 }
 
@@ -826,10 +864,11 @@ func (e *Engine) spillCold(active []*task, prefixes map[uint64]*prefixEntry, rou
 	excess := e.acct.DeviceUsed() - devCap
 	if excess <= 0 {
 		if headroom := -excess; headroom > 0 {
-			e.promoteSpilled(active, prefixes, headroom, P)
+			e.promoteSpilled(active, prefixes, headroom, P, round)
 		}
 		return
 	}
+	spillStart := excess
 	// Idle cached prefixes spill first: a snapshot nobody decodes from has
 	// no hot working set at all (its pages are read again only on the next
 	// prefix hit, which pays a fetch either way). Entries with live forks
@@ -898,13 +937,16 @@ func (e *Engine) spillCold(active []*task, prefixes map[uint64]*prefixEntry, rou
 		// on them (the fetch path pays to bring pages back).
 		e.rt.AccountPages(int((d + P - 1) / P))
 	}
+	if moved := spillStart - excess; moved > 0 {
+		e.rec.Emit(obs.Event{Type: obs.EvPageSpill, Round: round, N: e.kvUnits(moved)})
+	}
 }
 
 // promoteSpilled moves host-accounted slots back device-side while headroom
 // allows, unwinding the most recent spills first. Residual host accounting
 // left by retired tasks (their shared pages outliving them) is promoted once
 // the active claims are exhausted.
-func (e *Engine) promoteSpilled(active []*task, prefixes map[uint64]*prefixEntry, headroom, pageTokens int64) {
+func (e *Engine) promoteSpilled(active []*task, prefixes map[uint64]*prefixEntry, headroom, pageTokens, round int64) {
 	avail := e.acct.HostUsed()
 	if avail == 0 {
 		return
@@ -915,6 +957,7 @@ func (e *Engine) promoteSpilled(active []*task, prefixes map[uint64]*prefixEntry
 	}
 	e.acct.MoveToDevice(promote)
 	e.rt.AccountPages(int((promote + pageTokens - 1) / pageTokens))
+	e.rec.Emit(obs.Event{Type: obs.EvPagePromote, Round: round, N: e.kvUnits(promote)})
 	// Shrink per-task claims newest-spill-first so future pressure can spill
 	// them again; cached-prefix claims (the coldest) unwind last, and any
 	// residue beyond both belonged to retired tasks and needs no bookkeeping.
@@ -1142,6 +1185,14 @@ func (e *Engine) retire(t *task, round int64, err error) {
 	t.resp.DoneRound = round
 	t.resp.Total = time.Since(t.submitted)
 	e.mx.observeRetire(t, err)
+	if e.rec.Enabled() {
+		var failed int64
+		if err != nil {
+			failed = 1
+		}
+		e.rec.Emit(obs.Event{Type: obs.EvRetire, Round: round,
+			Req: t.id, N: int64(len(t.resp.Tokens)), Aux: failed})
+	}
 	t.ch <- t.resp
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"clusterkv/internal/metrics"
+	"clusterkv/internal/obs"
 )
 
 // LatencyStats condenses a latency distribution for reporting. All values
@@ -28,8 +29,26 @@ func summarize(s *metrics.Summary) LatencyStats {
 }
 
 func (l LatencyStats) String() string {
+	if l.N == 0 {
+		// An empty distribution has no quantiles; printing the zero-valued
+		// percentiles would read as "0ms latency" rather than "no samples".
+		return "n=0"
+	}
 	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p95=%.2fms max=%.2fms",
 		l.N, l.Mean*1e3, l.P50*1e3, l.P95*1e3, l.Max*1e3)
+}
+
+// fill publishes the distribution into reg as one gauge per statistic,
+// discriminated by a stat label.
+func (l LatencyStats) fill(reg *obs.Registry, name string, labels []obs.Label) {
+	with := func(stat string) []obs.Label {
+		return append(append([]obs.Label(nil), labels...), obs.L("stat", stat))
+	}
+	reg.Gauge(name, with("count")...).Set(float64(l.N))
+	reg.Gauge(name, with("mean")...).Set(l.Mean)
+	reg.Gauge(name, with("p50")...).Set(l.P50)
+	reg.Gauge(name, with("p95")...).Set(l.P95)
+	reg.Gauge(name, with("max")...).Set(l.Max)
 }
 
 // Metrics is a point-in-time snapshot of the engine's aggregate counters.
@@ -111,6 +130,57 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&b, "token lat: %s\n", m.TokenLatency)
 	fmt.Fprintf(&b, "queue wait: %s\n", m.QueueWait)
 	return b.String()
+}
+
+// FillRegistry publishes the snapshot into reg under the clusterkv_serve_*
+// namespace: monotone counters re-state cumulative totals (obs.Counter.Set is
+// max-keeping, so repeated fills are safe), point-in-time values become
+// gauges, and latency distributions become stat-labeled gauge families. The
+// snapshot is a *view* over Metrics — filling reads nothing back and can run
+// on any goroutine at any cadence.
+func (m Metrics) FillRegistry(reg *obs.Registry, labels ...obs.Label) {
+	cnt := func(name string, v int64) { reg.Counter(name, labels...).Set(v) }
+	gauge := func(name string, v float64) { reg.Gauge(name, labels...).Set(v) }
+	cnt("clusterkv_serve_requests_submitted_total", int64(m.Submitted))
+	cnt("clusterkv_serve_requests_completed_total", int64(m.Completed))
+	cnt("clusterkv_serve_requests_failed_total", int64(m.Failed))
+	cnt("clusterkv_serve_prefix_hits_total", int64(m.PrefixHits))
+	cnt("clusterkv_serve_prefix_misses_total", int64(m.PrefixMisses))
+	cnt("clusterkv_serve_prefix_evicted_total", int64(m.PrefixEvicted))
+	cnt("clusterkv_serve_tokens_generated_total", m.TokensGenerated)
+	cnt("clusterkv_serve_prefill_tokens_total", m.PrefillTokens)
+	cnt("clusterkv_serve_rounds_total", m.Rounds)
+	cnt("clusterkv_serve_kv_spilled_slots_total", m.KVSpilled)
+	gauge("clusterkv_serve_kv_used_slots", float64(m.KVUsed))
+	gauge("clusterkv_serve_kv_peak_slots", float64(m.KVPeak))
+	gauge("clusterkv_serve_kv_capacity_slots", float64(m.KVCapacity))
+	gauge("clusterkv_serve_kv_device_used_slots", float64(m.KVDeviceUsed))
+	gauge("clusterkv_serve_kv_device_peak_slots", float64(m.KVDevicePeak))
+	gauge("clusterkv_serve_kv_host_used_slots", float64(m.KVHostUsed))
+	gauge("clusterkv_serve_kv_host_peak_slots", float64(m.KVHostPeak))
+	gauge("clusterkv_serve_kv_host_capacity_slots", float64(m.KVHostCapacity))
+	gauge("clusterkv_serve_mean_queue_depth", m.MeanQueueDepth)
+	gauge("clusterkv_serve_mean_batch_occupancy", m.MeanBatchOccupancy)
+	gauge("clusterkv_serve_throughput_tok_per_sec", m.Throughput())
+	cnt("clusterkv_xfer_transfers_total", m.Transfer.Transfers)
+	cnt("clusterkv_xfer_pages_total", m.Transfer.Pages)
+	gauge("clusterkv_xfer_busy_seconds", m.Transfer.BusySec)
+	gauge("clusterkv_xfer_exposed_seconds", m.Transfer.ExposedSec)
+	gauge("clusterkv_xfer_hidden_frac", m.Transfer.HiddenFrac())
+	cnt("clusterkv_xfer_prefetched_pages_total", m.Transfer.PrefetchedPages)
+	cnt("clusterkv_xfer_prefetch_hits_total", m.Transfer.PrefetchHits)
+	cnt("clusterkv_xfer_prefetch_dropped_total", m.Transfer.PrefetchDropped)
+	m.TTFT.fill(reg, "clusterkv_serve_ttft_seconds", labels)
+	m.TokenLatency.fill(reg, "clusterkv_serve_token_latency_seconds", labels)
+	m.QueueWait.fill(reg, "clusterkv_serve_queue_wait_seconds", labels)
+}
+
+// FillRegistry publishes the engine's current Metrics snapshot plus the live
+// arena gauges into reg.
+func (e *Engine) FillRegistry(reg *obs.Registry, labels ...obs.Label) {
+	e.Metrics().FillRegistry(reg, labels...)
+	reg.Gauge("clusterkv_arena_live_pages", labels...).Set(float64(e.arena.LivePages()))
+	reg.Gauge("clusterkv_arena_peak_pages", labels...).Set(float64(e.arena.PeakPages()))
 }
 
 // engineMetrics is the engine-internal accumulator.
