@@ -47,7 +47,7 @@ test-trace:
 # metrics + options + seed + commit) for the experiments with headline
 # numbers worth diffing across commits. Quick scale — not a measurement run.
 bench-json:
-	$(GO) run ./cmd/clusterkv-bench -exp fleet,pagedkv,overlap -json bench-out
+	$(GO) run ./cmd/clusterkv-bench -exp fleet,pagedkv,overlap,radix -json bench-out
 
 # Benchmark smoke lane: compile and run every benchmark in the module once,
 # so perf-critical paths (serve engine, paged arena, parallel kernels) cannot

@@ -374,6 +374,35 @@ func DefaultLoadConfig() LoadConfig { return workload.DefaultLoadConfig() }
 // NewLoad materialises a deterministic serving load.
 func NewLoad(cfg LoadConfig) []QARequest { return workload.NewLoad(cfg) }
 
+// Nested-prefix session loads (multi-turn chat, agentic re-entry, templated
+// RAG) exercising the radix prefix cache's partial reuse.
+type (
+	// ConversationConfig shapes a multi-turn chat load.
+	ConversationConfig = workload.ConversationConfig
+	// AgenticConfig shapes an agentic re-entry load.
+	AgenticConfig = workload.AgenticConfig
+	// RAGConfig shapes a templated retrieval-augmented load.
+	RAGConfig = workload.RAGConfig
+)
+
+// DefaultConversationConfig returns a small 4-session, 4-turn chat load.
+func DefaultConversationConfig() ConversationConfig { return workload.DefaultConversationConfig() }
+
+// ConversationLoad materialises a deterministic multi-turn chat load.
+func ConversationLoad(cfg ConversationConfig) []QARequest { return workload.ConversationLoad(cfg) }
+
+// DefaultAgenticConfig returns a small 3-agent, 5-step re-entry load.
+func DefaultAgenticConfig() AgenticConfig { return workload.DefaultAgenticConfig() }
+
+// AgenticLoad materialises a deterministic agentic re-entry load.
+func AgenticLoad(cfg AgenticConfig) []QARequest { return workload.AgenticLoad(cfg) }
+
+// DefaultRAGConfig returns a small templated-RAG load over a shared chunk pool.
+func DefaultRAGConfig() RAGConfig { return workload.DefaultRAGConfig() }
+
+// RAGLoad materialises a deterministic templated-RAG load.
+func RAGLoad(cfg RAGConfig) []QARequest { return workload.RAGLoad(cfg) }
+
 // ---- Workloads ----------------------------------------------------------------
 
 // Workload generators standing in for the paper's datasets (DESIGN.md §1).

@@ -39,6 +39,7 @@ func main() {
 		newTok    = flag.Int("newtokens", 24, "tokens generated per request")
 		budget    = flag.Int("budget", 256, "per-head KV budget for compressed methods")
 		method    = flag.String("method", "clusterkv", "compression method (clusterkv, quest, fullkv)")
+		loadKind  = flag.String("load", "qa", "workload shape: qa (shared-doc questions), chat (multi-turn sessions), agentic (re-entry loops), rag (templated retrieval); non-qa loads ignore -requests/-docs/-doclen/-qlen")
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = deterministic closed-loop Run)")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline (router lane + one lane per replica; with -policy all, the file holds the last policy's run)")
@@ -93,15 +94,46 @@ func main() {
 		policies = []clusterkv.FleetPolicy{p}
 	}
 
-	lc := clusterkv.DefaultLoadConfig()
-	lc.Doc.Seed = *seed
-	lc.NDocs = *docs
-	lc.DocLen = *docLen
-	lc.NRequests = *requests
-	lc.QuestionLen = *qLen
-	lc.MaxNewTokens = *newTok
-	lc.RatePerSec = *rate
-	load := clusterkv.NewLoad(lc)
+	var load []clusterkv.QARequest
+	var loadDesc string
+	switch strings.ToLower(*loadKind) {
+	case "qa":
+		lc := clusterkv.DefaultLoadConfig()
+		lc.Doc.Seed = *seed
+		lc.NDocs = *docs
+		lc.DocLen = *docLen
+		lc.NRequests = *requests
+		lc.QuestionLen = *qLen
+		lc.MaxNewTokens = *newTok
+		lc.RatePerSec = *rate
+		load = clusterkv.NewLoad(lc)
+		loadDesc = fmt.Sprintf("%d requests over %d shared docs (%d+%d prompt tokens, %d generated each)",
+			*requests, *docs, *docLen, *qLen, *newTok)
+	case "chat":
+		cc := clusterkv.DefaultConversationConfig()
+		cc.Doc.Seed = *seed
+		cc.MaxNewTokens = *newTok
+		load = clusterkv.ConversationLoad(cc)
+		loadDesc = fmt.Sprintf("%d chat requests (%d sessions x %d turns, nested histories, %d generated each)",
+			len(load), cc.Sessions, cc.Turns, *newTok)
+	case "agentic":
+		ac := clusterkv.DefaultAgenticConfig()
+		ac.Doc.Seed = *seed
+		ac.MaxNewTokens = *newTok
+		load = clusterkv.AgenticLoad(ac)
+		loadDesc = fmt.Sprintf("%d agentic requests (%d agents x %d steps, re-entrant contexts, %d generated each)",
+			len(load), ac.Agents, ac.Steps, *newTok)
+	case "rag":
+		rc := clusterkv.DefaultRAGConfig()
+		rc.Doc.Seed = *seed
+		rc.MaxNewTokens = *newTok
+		load = clusterkv.RAGLoad(rc)
+		loadDesc = fmt.Sprintf("%d RAG requests (shared template, %d chunks each, %d generated each)",
+			len(load), rc.ChunksPerRequest, *newTok)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -load %q (qa, chat, agentic, rag)\n", *loadKind)
+		os.Exit(2)
+	}
 	reqs := make([]clusterkv.ServeRequest, len(load))
 	for i, q := range load {
 		reqs[i] = clusterkv.ServeRequest{
@@ -116,8 +148,7 @@ func main() {
 	}
 
 	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
-	fmt.Printf("load: %d requests over %d shared docs (%d+%d prompt tokens, %d generated each), method %s\n",
-		*requests, *docs, *docLen, *qLen, *newTok, *method)
+	fmt.Printf("load: %s, method %s\n", loadDesc, *method)
 	if *rate > 0 {
 		fmt.Printf("arrivals: open-loop Poisson at %.2f req/s (live routing via TrySubmit)\n", *rate)
 	} else {

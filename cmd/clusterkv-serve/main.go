@@ -71,7 +71,9 @@ func main() {
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		method    = flag.String("method", "all", "methods to serve (clusterkv, quest, fullkv, all)")
+		loadKind  = flag.String("load", "qa", "workload shape: qa (shared-doc questions), chat (multi-turn sessions), agentic (re-entry loops), rag (templated retrieval); non-qa loads ignore -requests/-docs/-doclen/-qlen")
 		noPrefix  = flag.Bool("noprefixcache", false, "disable the shared-prefix prefill cache")
+		flatCache = flag.Bool("flatprefix", false, "use the flat whole-prefix cache instead of the radix tree (exact-match reuse only, no nested-prefix forking)")
 		noSerial  = flag.Bool("noserial", false, "skip the serial one-at-a-time baseline")
 		verifyOut = flag.Bool("verify", true, "check engine outputs match serial decode token-for-token")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run (load in chrome://tracing or Perfetto); with -method all each method gets its own process lane")
@@ -102,19 +104,49 @@ func main() {
 		reg = clusterkv.NewMetricsRegistry()
 	}
 
-	lc := clusterkv.DefaultLoadConfig()
-	lc.Doc.Seed = *seed
-	lc.NDocs = *docs
-	lc.DocLen = *docLen
-	lc.NRequests = *requests
-	lc.QuestionLen = *qLen
-	lc.MaxNewTokens = *newTok
-	lc.RatePerSec = *rate
-	load := clusterkv.NewLoad(lc)
+	var load []clusterkv.QARequest
+	var loadDesc string
+	switch strings.ToLower(*loadKind) {
+	case "qa":
+		lc := clusterkv.DefaultLoadConfig()
+		lc.Doc.Seed = *seed
+		lc.NDocs = *docs
+		lc.DocLen = *docLen
+		lc.NRequests = *requests
+		lc.QuestionLen = *qLen
+		lc.MaxNewTokens = *newTok
+		lc.RatePerSec = *rate
+		load = clusterkv.NewLoad(lc)
+		loadDesc = fmt.Sprintf("%d requests over %d shared docs (%d+%d prompt tokens, %d generated each)",
+			*requests, *docs, *docLen, *qLen, *newTok)
+	case "chat":
+		cc := clusterkv.DefaultConversationConfig()
+		cc.Doc.Seed = *seed
+		cc.MaxNewTokens = *newTok
+		load = clusterkv.ConversationLoad(cc)
+		loadDesc = fmt.Sprintf("%d chat requests (%d sessions x %d turns, nested histories, %d generated each)",
+			len(load), cc.Sessions, cc.Turns, *newTok)
+	case "agentic":
+		ac := clusterkv.DefaultAgenticConfig()
+		ac.Doc.Seed = *seed
+		ac.MaxNewTokens = *newTok
+		load = clusterkv.AgenticLoad(ac)
+		loadDesc = fmt.Sprintf("%d agentic requests (%d agents x %d steps, re-entrant contexts, %d generated each)",
+			len(load), ac.Agents, ac.Steps, *newTok)
+	case "rag":
+		rc := clusterkv.DefaultRAGConfig()
+		rc.Doc.Seed = *seed
+		rc.MaxNewTokens = *newTok
+		load = clusterkv.RAGLoad(rc)
+		loadDesc = fmt.Sprintf("%d RAG requests (shared template, %d chunks each, %d generated each)",
+			len(load), rc.ChunksPerRequest, *newTok)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -load %q (qa, chat, agentic, rag)\n", *loadKind)
+		os.Exit(2)
+	}
 
 	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
-	fmt.Printf("load: %d requests over %d shared docs (%d+%d prompt tokens, %d generated each)\n",
-		*requests, *docs, *docLen, *qLen, *newTok)
+	fmt.Printf("load: %s\n", loadDesc)
 	if *rate > 0 {
 		fmt.Printf("arrivals: open-loop Poisson at %.2f req/s\n", *rate)
 	} else {
@@ -131,8 +163,15 @@ func main() {
 		transfers = "sync (blocking)"
 	}
 	fmt.Printf("transfers: %s\n", transfers)
-	fmt.Printf("engine: %d streams, %d workers, intra-op pool %d, prefix cache %v, global KV budget %v, admission %s\n\n",
-		*streams, effWorkers(*workers), clusterkv.IntraOpPool().Width(), !*noPrefix, budgetStr(*kvBudget), admission)
+	prefixCache := "radix"
+	switch {
+	case *noPrefix:
+		prefixCache = "off"
+	case *flatCache || *worstCase:
+		prefixCache = "flat"
+	}
+	fmt.Printf("engine: %d streams, %d workers, intra-op pool %d, prefix cache %s, global KV budget %v, admission %s\n\n",
+		*streams, effWorkers(*workers), clusterkv.IntraOpPool().Width(), prefixCache, budgetStr(*kvBudget), admission)
 
 	type row struct {
 		name                   string
@@ -170,6 +209,7 @@ func main() {
 		cfg.SyncTransfers = *syncXfer
 		cfg.WorstCaseAdmission = *worstCase
 		cfg.NoPrefixCache = *noPrefix
+		cfg.FlatPrefixCache = *flatCache
 		cfg.Seed = *seed
 		cfg.Trace = tracer.Recorder(mi) // nil tracer -> disabled recorder
 		eng := clusterkv.NewEngine(m, cfg)
@@ -204,7 +244,9 @@ func main() {
 
 		naivePrefill := int64(0)
 		if mx.Completed > 0 {
-			naivePrefill = int64(*requests) * int64(*docLen+*qLen)
+			for _, q := range load {
+				naivePrefill += int64(len(q.Prompt))
+			}
 		}
 		r := row{
 			name:         spec.name,

@@ -36,6 +36,9 @@ func Registry() map[string]Runner {
 		"fleet": func(o Options) []*Report {
 			return []*Report{RunFleet(o)}
 		},
+		"radix": func(o Options) []*Report {
+			return []*Report{RunRadix(o)}
+		},
 	}
 }
 
@@ -45,5 +48,6 @@ func RegistryOrder() []string {
 		"fig3a", "fig3b", "fig9", "tab1", "fig10",
 		"fig11a", "fig11b", "fig12", "fig13a", "fig13b",
 		"cache", "overlap", "ablations", "parprefill", "pagedkv", "fleet",
+		"radix",
 	}
 }

@@ -75,6 +75,7 @@ type fleetFingerprint struct {
 	admitRound []int64
 	doneRound  []int64
 	prefixHit  []bool
+	reused     []int
 	errs       []string
 	modelTTFT  []float64
 	modelTBT   []float64
@@ -82,6 +83,8 @@ type fleetFingerprint struct {
 	routed, shed, rerouted       int64
 	completed, failed            uint64
 	prefixHits, prefixMisses     uint64
+	prefixPartial                uint64
+	prefixReused                 int64
 	prefillTokens, tokensOut     int64
 	savedTokens, savedPages      int64
 	balance                      float64
@@ -107,6 +110,8 @@ func (a fleetFingerprint) diff(b fleetFingerprint) string {
 				i, a.admitRound[i], a.doneRound[i], b.admitRound[i], b.doneRound[i])
 		case a.prefixHit[i] != b.prefixHit[i]:
 			return fmt.Sprintf("request %d prefix hit %v vs %v", i, a.prefixHit[i], b.prefixHit[i])
+		case a.reused[i] != b.reused[i]:
+			return fmt.Sprintf("request %d reused tokens %d vs %d", i, a.reused[i], b.reused[i])
 		case a.modelTTFT[i] != b.modelTTFT[i]:
 			return fmt.Sprintf("request %d modeled TTFT %v vs %v", i, a.modelTTFT[i], b.modelTTFT[i])
 		case a.modelTBT[i] != b.modelTBT[i]:
@@ -130,6 +135,8 @@ func (a fleetFingerprint) diff(b fleetFingerprint) string {
 		{float64(a.failed), float64(b.failed), "failed"},
 		{float64(a.prefixHits), float64(b.prefixHits), "prefixHits"},
 		{float64(a.prefixMisses), float64(b.prefixMisses), "prefixMisses"},
+		{float64(a.prefixPartial), float64(b.prefixPartial), "prefixPartialHits"},
+		{float64(a.prefixReused), float64(b.prefixReused), "prefixReusedTokens"},
 		{float64(a.prefillTokens), float64(b.prefillTokens), "prefillTokens"},
 		{float64(a.tokensOut), float64(b.tokensOut), "tokensGenerated"},
 		{float64(a.savedTokens), float64(b.savedTokens), "savedPrefillTokens"},
@@ -180,6 +187,7 @@ func runFleet(t *testing.T, m *model.Model, replicas int, reqs []serve.Request, 
 		fp.admitRound = append(fp.admitRound, resp.AdmitRound)
 		fp.doneRound = append(fp.doneRound, resp.DoneRound)
 		fp.prefixHit = append(fp.prefixHit, resp.PrefixHit)
+		fp.reused = append(fp.reused, resp.PrefixReusedTokens)
 		fp.modelTTFT = append(fp.modelTTFT, resp.ModelTTFT)
 		fp.modelTBT = append(fp.modelTBT, resp.ModelTBT)
 		if resp.Err != nil {
@@ -191,6 +199,7 @@ func runFleet(t *testing.T, m *model.Model, replicas int, reqs []serve.Request, 
 	fp.routed, fp.shed, fp.rerouted = sum.Routed, sum.Shed, sum.Rerouted
 	fp.completed, fp.failed = sum.Completed, sum.Failed
 	fp.prefixHits, fp.prefixMisses = sum.PrefixHits, sum.PrefixMisses
+	fp.prefixPartial, fp.prefixReused = sum.PrefixPartialHits, sum.PrefixReusedTokens
 	fp.prefillTokens, fp.tokensOut = sum.PrefillTokens, sum.TokensGenerated
 	fp.savedTokens, fp.savedPages = sum.SavedPrefillTokens, sum.SavedPrefillPages
 	fp.balance, fp.sloAttain = sum.Balance, sum.SLOAttainment
@@ -289,6 +298,55 @@ func TestSingleReplicaMatchesEngineRun(t *testing.T) {
 				t.Fatalf("policy %s: request %d prefix hit %v vs engine %v",
 					policy, i, got[i].PrefixHit, want[i].PrefixHit)
 			}
+		}
+	}
+}
+
+// nestedFleetLoad builds a multi-turn conversation load shaped for the fleet
+// test model: nested prompts within each session, interleaved across sessions,
+// so affinity routing and radix partial reuse both engage.
+func nestedFleetLoad() []serve.Request {
+	cfg := workload.DefaultConversationConfig()
+	cfg.Doc.VocabSize = 128
+	cfg.Doc.NTopics = 8
+	cfg.Doc.Seed = 67
+	load := workload.ConversationLoad(cfg)
+	reqs := make([]serve.Request, len(load))
+	for i, q := range load {
+		reqs[i] = serve.Request{
+			Prompt:          q.Prompt,
+			SharedPrefixLen: q.SharedPrefixLen,
+			MaxNewTokens:    q.MaxNewTokens,
+			Budget:          64,
+			NewSelector:     clusterSel,
+		}
+	}
+	return reqs
+}
+
+// TestRouterDeterminismNestedSessions extends the fleet determinism lock to
+// the radix path: a multi-turn conversation load (nested shared prefixes, so
+// longest-prefix affinity and partial page reuse both fire) must reproduce
+// exactly at every replica count in {1, 2, 4}, and the run must actually
+// exercise partial reuse — otherwise the lock proves nothing.
+func TestRouterDeterminismNestedSessions(t *testing.T) {
+	m := testModel()
+	reqs := nestedFleetLoad()
+	for _, replicas := range []int{1, 2, 4} {
+		a := runFleet(t, m, replicas, reqs)
+		if a.completed != uint64(len(reqs)) || a.failed != 0 {
+			t.Fatalf("replicas=%d: %d completed, %d failed, want %d/0",
+				replicas, a.completed, a.failed, len(reqs))
+		}
+		if a.prefixPartial == 0 {
+			t.Fatalf("replicas=%d: nested load produced no partial prefix hits", replicas)
+		}
+		if a.prefixReused <= 0 {
+			t.Fatalf("replicas=%d: nested load reused %d prefix tokens", replicas, a.prefixReused)
+		}
+		b := runFleet(t, m, replicas, reqs)
+		if d := a.diff(b); d != "" {
+			t.Fatalf("replicas=%d: nested-session runs differ: %s", replicas, d)
 		}
 	}
 }

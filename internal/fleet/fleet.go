@@ -6,10 +6,13 @@
 // re-prefill anywhere else, so *where* a request lands decides its TTFT. The
 // router implements three policies —
 //
-//   - affinity (default): route to the replica whose prefix cache already
-//     holds the request's shared-prefix hash; fall back to least-loaded (KV
-//     pages, then queue depth) with consistent hashing as the deterministic
-//     tiebreaker;
+//   - affinity (default): route to the replica whose prefix cache holds the
+//     longest resident prefix of the request's shared prefix — probed at
+//     every page-aligned depth, so nested-prefix traffic (multi-turn chat,
+//     agentic re-entry, templated RAG) follows the replica holding the
+//     deepest cached ancestor, not just exact hash matches; fall back to
+//     least-loaded (KV pages, then queue depth) with consistent hashing as
+//     the deterministic tiebreaker;
 //   - round-robin: the classic cache-oblivious baseline;
 //   - least-loaded: pure load balancing, still cache-oblivious;
 //
@@ -188,13 +191,24 @@ type Router struct {
 	pageTokens int
 	planes     int64
 	maxBatch   int
+	// radix mirrors the replicas' cache shape: when the engines run the radix
+	// prefix cache, the router tracks every page-aligned prefix depth (chain
+	// links) instead of whole-prefix hashes only, so nested-prefix requests
+	// route to the replica holding the deepest cached ancestor.
+	radix bool
 
 	mu sync.Mutex
 	// Placement ledgers: the router's own deterministic model of each
 	// replica's state. Run consults only these (never live gauges), which is
 	// what makes fleet placement reproducible.
-	prefixHome    map[uint64]int     // content hash -> first replica assigned the prefix
-	charged       map[prefixOn]int64 // prefix pages already resident on a replica
+	prefixHome map[uint64]int // content hash (any chain depth) -> first replica assigned it
+	// charged books the pages a placed prefix made resident on a replica,
+	// keyed by the whole-prefix hash; nested prefixes are charged only their
+	// marginal pages beyond the deepest ancestor already resident there.
+	// chainOn indexes every page-aligned chain hash resident per replica —
+	// membership only, for the longest-prefix marginal walk.
+	charged       map[prefixOn]int64 // prefix pages added on a replica (rebase model)
+	chainOn       map[prefixOn]struct{}
 	assignedReqs  []int64            // requests routed since the last rebase
 	assignedPages []int64            // modeled KV pages routed per replica (prefix counted once)
 	backlogSec    []float64          // modeled seconds of work routed since the last rebase
@@ -243,8 +257,11 @@ func NewRouter(m *model.Model, cfg Config) *Router {
 		pageTokens: pageTokens,
 		planes:     int64(mc.NLayers * mc.NKVHeads),
 		maxBatch:   cfg.Engine.MaxBatch,
+		radix: !cfg.Engine.WorstCaseAdmission && !cfg.Engine.FlatPrefixCache &&
+			!cfg.Engine.NoPrefixCache,
 		prefixHome: make(map[uint64]int),
 		charged:    make(map[prefixOn]int64),
+		chainOn:    make(map[prefixOn]struct{}),
 	}
 	r.rec = cfg.Trace.Recorder(-1) // nil-safe: disabled on a nil tracer
 	r.engines = make([]*serve.Engine, cfg.Replicas)
@@ -333,13 +350,42 @@ func (r *Router) routeKey(req *serve.Request) (uint64, bool) {
 	return serve.PrefixKey(req.Prompt), false
 }
 
-// marginal returns the prefill tokens the request would actually cost on
-// rep: the suffix when rep already holds the shared prefix, the full prompt
-// otherwise.
-func (r *Router) marginal(req *serve.Request, rep int, h uint64, shared bool) int {
-	if shared {
-		if _, ok := r.charged[prefixOn{h, rep}]; ok {
-			return len(req.Prompt) - req.SharedPrefixLen
+// chainLink is one probe depth of a shared prefix: the content hash of its
+// first depth tokens. The last link is always the whole prefix (hash ==
+// routeKey), so exact matches rank deepest.
+type chainLink struct {
+	hash  uint64
+	depth int
+}
+
+// prefixChain returns the request's residency probe chain, deepest last:
+// every page-aligned prefix depth plus the whole prefix under the radix
+// cache, the whole prefix alone when the replicas only reuse exact matches
+// (flat cache, worst-case admission).
+func (r *Router) prefixChain(req *serve.Request, h uint64) []chainLink {
+	prefix := req.Prompt[:req.SharedPrefixLen]
+	if !r.radix {
+		return []chainLink{{hash: h, depth: len(prefix)}}
+	}
+	hashes := serve.AlignedPrefixKeys(prefix, r.pageTokens)
+	links := make([]chainLink, len(hashes))
+	for i, hh := range hashes {
+		d := (i + 1) * r.pageTokens
+		if d > len(prefix) {
+			d = len(prefix)
+		}
+		links[i] = chainLink{hash: hh, depth: d}
+	}
+	return links
+}
+
+// marginal returns the prefill tokens the request would actually cost on rep
+// under the router's residency model: the tokens past the deepest chain link
+// already resident there, the full prompt when nothing matches.
+func (r *Router) marginal(req *serve.Request, rep int, chain []chainLink) int {
+	for i := len(chain) - 1; i >= 0; i-- {
+		if _, ok := r.chainOn[prefixOn{chain[i].hash, rep}]; ok {
+			return len(req.Prompt) - chain[i].depth
 		}
 	}
 	return len(req.Prompt)
@@ -398,6 +444,10 @@ func (r *Router) leastLoaded(h uint64) int {
 // ledgers. Caller holds r.mu.
 func (r *Router) place(req *serve.Request) placement {
 	h, shared := r.routeKey(req)
+	var chain []chainLink
+	if shared {
+		chain = r.prefixChain(req, h)
+	}
 	var rep int
 	switch r.cfg.Policy {
 	case PolicyRoundRobin:
@@ -406,13 +456,20 @@ func (r *Router) place(req *serve.Request) placement {
 	case PolicyLeastLoaded:
 		rep = r.leastLoaded(h)
 	default: // affinity
-		if home, ok := r.prefixHome[h]; ok && shared {
-			rep = home
-		} else {
+		rep = -1
+		// Longest-prefix affinity: walk the chain deepest-first, so an exact
+		// prefix home wins over a shallower ancestor's home.
+		for i := len(chain) - 1; i >= 0; i-- {
+			if home, ok := r.prefixHome[chain[i].hash]; ok {
+				rep = home
+				break
+			}
+		}
+		if rep < 0 {
 			rep = r.leastLoaded(h)
 		}
 	}
-	margToks := r.marginal(req, rep, h, shared)
+	margToks := r.marginal(req, rep, chain)
 	pred := r.predictTTFT(req, rep, margToks)
 	rerouted := false
 	if slo := r.cfg.SLOTTFT; slo > 0 && pred > slo {
@@ -425,7 +482,7 @@ func (r *Router) place(req *serve.Request) placement {
 			if c == rep {
 				continue
 			}
-			mt := r.marginal(req, c, h, shared)
+			mt := r.marginal(req, c, chain)
 			if p := r.predictTTFT(req, c, mt); p < bestPred {
 				best, bestPred, bestMarg = c, p, mt
 			}
@@ -442,21 +499,36 @@ func (r *Router) place(req *serve.Request) placement {
 			rerouted = true
 		}
 	}
-	r.commit(req, rep, h, shared, margToks)
+	r.commit(req, rep, chain, margToks)
 	return placement{replica: rep, rerouted: rerouted, hash: h, shared: shared,
 		margToks: margToks, predTTFT: pred}
 }
 
 // commit books the placement into the router ledgers. Caller holds r.mu.
-func (r *Router) commit(req *serve.Request, rep int, h uint64, shared bool, margToks int) {
+// chain is nil for unshared requests; margToks encodes the resident depth the
+// placement was priced at (len(Prompt) - margToks), so the charged delta
+// covers only the pages this prefix adds beyond its deepest resident ancestor.
+func (r *Router) commit(req *serve.Request, rep int, chain []chainLink, margToks int) {
 	r.assignedReqs[rep]++
 	r.routedReqs[rep]++
 	r.assignedPages[rep] += pagesFor(margToks+req.MaxNewTokens, r.pageTokens) * r.planes
 	r.backlogSec[rep] += r.reqSec(req, margToks)
-	if shared {
-		r.charged[prefixOn{h, rep}] = pagesFor(req.SharedPrefixLen, r.pageTokens) * r.planes
-		if _, ok := r.prefixHome[h]; !ok {
-			r.prefixHome[h] = rep
+	if len(chain) == 0 {
+		return
+	}
+	key := prefixOn{chain[len(chain)-1].hash, rep}
+	if _, ok := r.charged[key]; !ok {
+		depth := len(req.Prompt) - margToks
+		if depth > req.SharedPrefixLen {
+			depth = req.SharedPrefixLen
+		}
+		r.charged[key] = (pagesFor(req.SharedPrefixLen, r.pageTokens) -
+			pagesFor(depth, r.pageTokens)) * r.planes
+	}
+	for _, link := range chain {
+		r.chainOn[prefixOn{link.hash, rep}] = struct{}{}
+		if _, ok := r.prefixHome[link.hash]; !ok {
+			r.prefixHome[link.hash] = rep
 		}
 	}
 }
@@ -570,17 +642,15 @@ func (r *Router) modelLatencies(reqs []serve.Request, out []Response, perRep [][
 		if base < 0 {
 			continue // nothing served on this replica
 		}
-		// Per-round prefill work: marginal tokens (suffix on a prefix hit,
-		// full prompt otherwise) of requests admitted that round.
+		// Per-round prefill work: marginal tokens (past whatever depth the
+		// prefix cache actually served, whole-prefix hit or partial radix
+		// reuse) of requests admitted that round.
 		prefillAt := make(map[int64]int64, len(idxs))
 		for _, i := range idxs {
 			if out[i].Err != nil {
 				continue
 			}
-			marg := int64(len(reqs[i].Prompt))
-			if out[i].PrefixHit {
-				marg -= int64(reqs[i].SharedPrefixLen)
-			}
+			marg := int64(len(reqs[i].Prompt) - out[i].PrefixReusedTokens)
 			prefillAt[out[i].AdmitRound] += marg
 		}
 		// Cumulative modeled clock across rounds base+1..maxRound.
@@ -613,10 +683,7 @@ func (r *Router) observe(reqs []serve.Request, out []Response) {
 			continue
 		}
 		naive := int64(len(reqs[i].Prompt))
-		marg := naive
-		if out[i].PrefixHit {
-			marg -= int64(reqs[i].SharedPrefixLen)
-		}
+		marg := naive - int64(out[i].PrefixReusedTokens)
 		r.savedPrefillTokens += naive - marg
 		r.savedPrefillPages += (pagesFor(int(naive), r.pageTokens) - pagesFor(int(marg), r.pageTokens)) * r.planes
 		r.modelTTFT.Add(out[i].ModelTTFT)
@@ -643,28 +710,38 @@ func (r *Router) observe(reqs []serve.Request, out []Response) {
 // timing-dependent; use Run for the deterministic batch contract.
 func (r *Router) Submit(req serve.Request) *Ticket {
 	h, shared := r.routeKey(&req)
+	var chain []chainLink
+	if shared {
+		chain = r.prefixChain(&req, h)
+	}
 
-	// Candidate order: resident replicas first (affinity), then everyone by
-	// live load (pages, then queue depth, consistent hash tiebreak).
+	// Candidate order: replicas holding the deepest resident prefix first
+	// (longest-prefix affinity, probed live via Engine.ResidentPrefixLen),
+	// then everyone by live load (pages, then queue depth, consistent hash
+	// tiebreak).
 	type cand struct {
 		rep      int
-		resident bool
+		resDepth int // deepest live resident prefix depth in tokens
 		pages    int64
 		depth    int
 	}
 	cands := make([]cand, len(r.engines))
 	for i, e := range r.engines {
 		occ := e.Occupancy()
+		resDepth := 0
+		if shared && r.cfg.Policy == PolicyAffinity {
+			resDepth = e.ResidentPrefixLen(req.Prompt[:req.SharedPrefixLen])
+		}
 		cands[i] = cand{
 			rep:      i,
-			resident: shared && r.cfg.Policy == PolicyAffinity && e.PrefixResident(h),
+			resDepth: resDepth,
 			pages:    occ.LivePages,
 			depth:    occ.Queued + occ.Active,
 		}
 	}
 	less := func(a, b cand) bool {
-		if a.resident != b.resident {
-			return a.resident
+		if a.resDepth != b.resDepth {
+			return a.resDepth > b.resDepth
 		}
 		if a.pages != b.pages {
 			return a.pages < b.pages
@@ -707,9 +784,9 @@ func (r *Router) Submit(req serve.Request) *Ticket {
 	preds := make([]float64, len(cands))
 	minPred := math.Inf(1)
 	for i, c := range cands {
-		marg := r.marginal(&req, c.rep, h, shared)
-		if c.resident {
-			marg = len(req.Prompt) - req.SharedPrefixLen
+		marg := r.marginal(&req, c.rep, chain)
+		if live := len(req.Prompt) - c.resDepth; c.resDepth > 0 && live < marg {
+			marg = live
 		}
 		preds[i] = r.reqSec(&req, marg) + float64(c.depth)*r.meanReqSecLocked(c.rep)
 		if preds[i] < minPred {
@@ -737,11 +814,11 @@ func (r *Router) Submit(req serve.Request) *Ticket {
 	accept := func(i int, tk *serve.Ticket) *Ticket {
 		c := cands[i]
 		r.mu.Lock()
-		marg := r.marginal(&req, c.rep, h, shared)
-		if c.resident {
-			marg = len(req.Prompt) - req.SharedPrefixLen
+		marg := r.marginal(&req, c.rep, chain)
+		if live := len(req.Prompt) - c.resDepth; c.resDepth > 0 && live < marg {
+			marg = live
 		}
-		r.commit(&req, c.rep, h, shared, marg)
+		r.commit(&req, c.rep, chain, marg)
 		sloMiss := (r.cfg.SLOTTFT > 0 && preds[i] > r.cfg.SLOTTFT) ||
 			(r.cfg.SLOTBT > 0 && predTBT > r.cfg.SLOTBT)
 		if r.cfg.SLOTTFT > 0 || r.cfg.SLOTBT > 0 {

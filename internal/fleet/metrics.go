@@ -15,8 +15,13 @@ type ReplicaStats struct {
 	Routed int64
 	// Completed/Failed are the replica engine's terminal counters.
 	Completed, Failed uint64
-	// PrefixHits/PrefixMisses are the replica's prefix-cache counters.
+	// PrefixHits/PrefixMisses are the replica's prefix-cache counters;
+	// PrefixPartialHits counts misses that still reused a cached ancestor's
+	// pages (radix cache), and PrefixReusedTokens the prompt tokens whose
+	// prefill the replica skipped via either form of reuse.
 	PrefixHits, PrefixMisses uint64
+	PrefixPartialHits        uint64
+	PrefixReusedTokens       int64
 	// PrefillTokens/TokensGenerated are the replica's token counters.
 	PrefillTokens, TokensGenerated int64
 	// Rounds is the replica's scheduler round count.
@@ -41,6 +46,8 @@ type Summary struct {
 	// Aggregate serving counters across replicas.
 	Completed, Failed        uint64
 	PrefixHits, PrefixMisses uint64
+	PrefixPartialHits        uint64
+	PrefixReusedTokens       int64
 	PrefillTokens            int64
 	TokensGenerated          int64
 
@@ -115,9 +122,11 @@ func (r *Router) Summary() Summary {
 			Routed:          routed[i],
 			Completed:       mx.Completed,
 			Failed:          mx.Failed,
-			PrefixHits:      mx.PrefixHits,
-			PrefixMisses:    mx.PrefixMisses,
-			PrefillTokens:   mx.PrefillTokens,
+			PrefixHits:         mx.PrefixHits,
+			PrefixMisses:       mx.PrefixMisses,
+			PrefixPartialHits:  mx.PrefixPartialHits,
+			PrefixReusedTokens: mx.PrefixReusedTokens,
+			PrefillTokens:      mx.PrefillTokens,
 			TokensGenerated: mx.TokensGenerated,
 			Rounds:          mx.Rounds,
 			KVPeak:          mx.KVPeak,
@@ -129,6 +138,8 @@ func (r *Router) Summary() Summary {
 		s.Failed += rs.Failed
 		s.PrefixHits += rs.PrefixHits
 		s.PrefixMisses += rs.PrefixMisses
+		s.PrefixPartialHits += rs.PrefixPartialHits
+		s.PrefixReusedTokens += rs.PrefixReusedTokens
 		s.PrefillTokens += rs.PrefillTokens
 		s.TokensGenerated += rs.TokensGenerated
 		if rs.Routed > maxRouted {
@@ -155,6 +166,8 @@ func (r *Router) FillRegistry(reg *obs.Registry, labels ...obs.Label) {
 	cnt("clusterkv_fleet_rerouted_total", s.Rerouted)
 	cnt("clusterkv_fleet_saved_prefill_tokens_total", s.SavedPrefillTokens)
 	cnt("clusterkv_fleet_saved_prefill_pages_total", s.SavedPrefillPages)
+	cnt("clusterkv_fleet_prefix_partial_hits_total", int64(s.PrefixPartialHits))
+	cnt("clusterkv_fleet_prefix_reused_tokens_total", s.PrefixReusedTokens)
 	gauge("clusterkv_fleet_prefix_hit_rate", s.PrefixHitRate())
 	gauge("clusterkv_fleet_balance", s.Balance)
 	gauge("clusterkv_fleet_slo_attainment", s.SLOAttainment)
@@ -192,9 +205,9 @@ func (s Summary) String() string {
 	fmt.Fprintf(&b, "routing: %d routed, %d shed, %d rerouted, balance %.2f (1 = even)\n",
 		s.Routed, s.Shed, s.Rerouted, s.Balance)
 	fmt.Fprintf(&b, "requests: %d completed, %d failed\n", s.Completed, s.Failed)
-	fmt.Fprintf(&b, "prefix cache: %d hits, %d misses (%.0f%% hit rate); prefill saved %d tokens / %d pages\n",
-		s.PrefixHits, s.PrefixMisses, s.PrefixHitRate()*100,
-		s.SavedPrefillTokens, s.SavedPrefillPages)
+	fmt.Fprintf(&b, "prefix cache: %d hits, %d misses (%d partial, %.0f%% hit rate); %d tokens reused, prefill saved %d tokens / %d pages\n",
+		s.PrefixHits, s.PrefixMisses, s.PrefixPartialHits, s.PrefixHitRate()*100,
+		s.PrefixReusedTokens, s.SavedPrefillTokens, s.SavedPrefillPages)
 	fmt.Fprintf(&b, "tokens: %d prefilled, %d generated\n", s.PrefillTokens, s.TokensGenerated)
 	fmt.Fprintf(&b, "modeled ttft: %s\n", s.ModelTTFT)
 	fmt.Fprintf(&b, "modeled tbt:  %s\n", s.ModelTBT)

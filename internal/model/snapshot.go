@@ -56,6 +56,26 @@ func (snap *Snapshot) NumPages() int64 {
 	return n
 }
 
+// Prefix returns a new snapshot covering only the first n tokens of snap.
+// Like Snapshot it is zero-copy: each store is forked and truncated, so a
+// page-aligned n shares pages purely by refcount, and an unaligned n keeps a
+// shared tail page that descendants copy-on-write at their first append. The
+// radix prefix cache uses it to fork the longest page-aligned common prefix
+// out of a deeper cached entry. snap itself is unaffected.
+func (snap *Snapshot) Prefix(n int) *Snapshot {
+	if n < 0 || n > snap.pos {
+		panic("model: Snapshot.Prefix out of range")
+	}
+	out := &Snapshot{cfg: snap.cfg, pos: n}
+	out.stores = make([]*kvcache.Store, len(snap.stores))
+	for i, st := range snap.stores {
+		f := st.Fork()
+		f.Truncate(n)
+		out.stores[i] = f
+	}
+	return out
+}
+
 // NewSequenceFrom creates a sequence that continues from a snapshot taken on
 // a sequence of this model. The new sequence shares the snapshot's KV prefix
 // zero-copy and appends independently. The selector is Reset but has seen

@@ -40,9 +40,11 @@ const (
 	// N = tokens generated, Aux = 1 on failure.
 	EvRetire
 	// EvPrefixHit / EvPrefixMiss record a shared-prefix request served from /
-	// building a cache entry (Req, N = prefix tokens). EvPrefixEvict records
-	// an idle entry dropped under budget pressure (N = slots released, 0
-	// under exact accounting where pages free on release).
+	// building a cache entry (Req, N = prefix tokens; on a miss Aux = tokens
+	// reused from a cached ancestor's pages via radix partial reuse, 0 on a
+	// cold build). EvPrefixEvict records an idle entry dropped under budget
+	// pressure at round Round (N = slots released, 0 under exact accounting
+	// where pages free on release).
 	EvPrefixHit
 	EvPrefixMiss
 	EvPrefixEvict

@@ -21,6 +21,8 @@ type engineRunFingerprint struct {
 
 	submitted, completed, failed            uint64
 	prefixHits, prefixMisses, prefixEvicted uint64
+	prefixPartial                           uint64
+	prefixReused                            int64
 	tokensGenerated, prefillTokens          int64
 	rounds                                  int64
 	kvPeak                                  int64
@@ -92,6 +94,7 @@ func runEngineAt(t *testing.T, procs, engineWorkers int, reqs []Request, mutate 
 	m := eng.Metrics()
 	fp.submitted, fp.completed, fp.failed = m.Submitted, m.Completed, m.Failed
 	fp.prefixHits, fp.prefixMisses, fp.prefixEvicted = m.PrefixHits, m.PrefixMisses, m.PrefixEvicted
+	fp.prefixPartial, fp.prefixReused = m.PrefixPartialHits, m.PrefixReusedTokens
 	fp.tokensGenerated, fp.prefillTokens = m.TokensGenerated, m.PrefillTokens
 	fp.rounds = m.Rounds
 	fp.kvPeak = m.KVPeak
@@ -133,6 +136,8 @@ func (a engineRunFingerprint) diff(b engineRunFingerprint) string {
 		{a.prefixHits, b.prefixHits, "prefixHits"},
 		{a.prefixMisses, b.prefixMisses, "prefixMisses"},
 		{a.prefixEvicted, b.prefixEvicted, "prefixEvicted"},
+		{a.prefixPartial, b.prefixPartial, "prefixPartialHits"},
+		{uint64(a.prefixReused), uint64(b.prefixReused), "prefixReusedTokens"},
 		{uint64(a.tokensGenerated), uint64(b.tokensGenerated), "tokensGenerated"},
 		{uint64(a.prefillTokens), uint64(b.prefillTokens), "prefillTokens"},
 		{uint64(a.rounds), uint64(b.rounds), "rounds"},
@@ -240,5 +245,59 @@ func TestEngineDeterminismGreedy(t *testing.T) {
 	got := runEngineAt(t, runtime.NumCPU()*2, 4, reqs)
 	if d := base.diff(got); d != "" {
 		t.Fatalf("parallel greedy run differs from serial: %s", d)
+	}
+}
+
+// TestRadixMatchesFlatOnSinglePrefixLoad locks the radix cache's
+// compatibility contract: on a load whose declared prefixes either match a
+// cached entry exactly or share nothing (the classic one-document
+// multi-question QA load), the radix tree must behave token- and
+// schedule-identically to the flat exact-match cache — same tokens, same
+// rounds, same counters, same KV peak.
+func TestRadixMatchesFlatOnSinglePrefixLoad(t *testing.T) {
+	reqs := loadRequests(t)
+	radix := runEngineAt(t, 1, 1, reqs)
+	flat := runEngineAt(t, 1, 1, reqs, func(c *Config) { c.FlatPrefixCache = true })
+	if d := radix.diff(flat); d != "" {
+		t.Fatalf("radix differs from flat cache on a single-shared-prefix load: %s", d)
+	}
+	if radix.prefixPartial != 0 {
+		t.Fatalf("radix reported %d partial hits on an exact-match-only load", radix.prefixPartial)
+	}
+}
+
+// TestEngineDeterminismNestedSessions extends the GOMAXPROCS lock to the
+// nested-prefix loads the radix cache exists for: multi-turn conversation
+// traffic with partial radix reuse must fingerprint identically across
+// serial, repeated, and parallel schedules.
+func TestEngineDeterminismNestedSessions(t *testing.T) {
+	cc := workload.DefaultConversationConfig()
+	cc.Doc.VocabSize = 128
+	cc.Doc.NTopics = 8
+	cc.Doc.Seed = 53
+	reqs := nestedRequests(workload.ConversationLoad(cc))
+	for i := range reqs {
+		reqs[i].Temperature = 0.8
+	}
+	base := runEngineAt(t, 1, 1, reqs)
+	if base.completed != uint64(len(reqs)) || base.failed != 0 {
+		t.Fatalf("baseline run: %d completed, %d failed, want %d/0", base.completed, base.failed, len(reqs))
+	}
+	if base.prefixPartial == 0 {
+		t.Fatalf("nested conversation load produced no partial radix hits")
+	}
+	cases := []struct {
+		name           string
+		procs, workers int
+	}{
+		{"gomaxprocs=1/repeat", 1, 1},
+		{"gomaxprocs=2", 2, 2},
+		{"gomaxprocs=numcpu", runtime.NumCPU(), runtime.NumCPU()},
+	}
+	for _, tc := range cases {
+		got := runEngineAt(t, tc.procs, tc.workers, reqs)
+		if d := base.diff(got); d != "" {
+			t.Fatalf("%s: nested-load run differs from serial baseline: %s", tc.name, d)
+		}
 	}
 }

@@ -81,8 +81,18 @@ type Config struct {
 	WorstCaseAdmission bool
 	// NoPrefixCache disables shared-prefix prefill reuse (on by default).
 	NoPrefixCache bool
+	// FlatPrefixCache forces the exact-match flat prefix cache instead of the
+	// default radix tree, so nested prefixes only reuse prefill when a
+	// declared prefix matches a cached one token for token. Kept for
+	// comparison (the radix experiment). WorstCaseAdmission implies it: the
+	// legacy reservation policy predates page-granular sharing and has no
+	// notion of partial reuse.
+	FlatPrefixCache bool
 	// Seed drives sampling and any tie-breaking, making runs reproducible.
 	Seed uint64
+	// testPrefixHash, when set (tests only), replaces the flat cache's bucket
+	// hash so hash collisions can be forced deterministically.
+	testPrefixHash func([]int) uint64
 	// Trace, when enabled (obs.Tracer.Recorder), receives the engine's
 	// structured trace events: round begin/end, admit/refuse/retire,
 	// prefix-cache traffic, tier spill/promote, and — through the transfer
@@ -119,18 +129,32 @@ type Engine struct {
 	// units by dividing back out.
 	planes int64
 	exact  bool
+	// radix reports the active prefix-cache shape (radix tree vs flat
+	// exact-match); see Config.FlatPrefixCache.
+	radix bool
 	// rt is the engine-wide async transfer runtime: every RuntimeAware
 	// selector's simulated KV movement shares this one modeled PCIe channel.
 	rt *kvcache.TransferRuntime
 
+	// cache is the scheduler-owned prefix cache (radix tree or flat map);
+	// cacheSeq numbers entries in admission order for deterministic LRU
+	// tie-breaks. Touched only on the loop goroutine.
+	cache    prefixCache
+	cacheSeq uint64
+
 	intake chan []*task
 
-	// resident is the router-facing prefix-residency index: the content hash
-	// of every prefix entry the scheduler currently holds (building or
-	// published). Maintained by the scheduler at entry creation/release;
-	// PrefixResident reads it lock-cheaply from any goroutine.
+	// resident is the router-facing prefix-residency index, refcounted
+	// content hashes of what the scheduler currently holds (building or
+	// published). Under the radix cache every entry registers its whole
+	// page-aligned prefix chain, so routers can probe nested depths; the flat
+	// cache registers exact hashes only, matching what it can actually reuse.
+	// Refcounts keep a hash resident while any registrant lives (two entries
+	// legitimately share their common chain prefix). Maintained by the
+	// scheduler at entry creation/release; PrefixResident and
+	// ResidentPrefixLen read it lock-cheaply from any goroutine.
 	resMu    sync.RWMutex
-	resident map[uint64]struct{}
+	resident map[uint64]int
 
 	submitMu sync.Mutex
 	closed   bool
@@ -157,8 +181,15 @@ type task struct {
 	submitted time.Time
 
 	// scheduler state
-	entry    *prefixEntry // non-nil when sharing a prefix
-	builder  bool         // this task builds entry's snapshot
+	entry   *prefixEntry // non-nil when sharing a prefix
+	builder bool         // this task builds entry's snapshot
+	// baseSnap and reuse carry a builder's partial prefix reuse: the
+	// longest page-aligned (or whole-entry) common prefix found in the radix
+	// cache, forked zero-copy at admission so the reused pages survive any
+	// later eviction of their source entry. The builder prefills only
+	// entry.tokens[reuse:] on top of it.
+	baseSnap *model.Snapshot
+	reuse    int
 	reserved int64
 	// spilled is the raw slot count currently accounted host-resident for
 	// this task; coldRound is the round it last spilled (LRU order for the
@@ -180,14 +211,16 @@ type task struct {
 
 // prefixEntry is one cached shared-prefix prefill.
 type prefixEntry struct {
-	key      uint64 // map key (post-probing), for unpublishing on failure
-	chash    uint64 // content hash (pre-probing), the PrefixResident index key
+	chash    uint64 // content hash, the PrefixResident index key
 	tokens   []int
 	snap     *model.Snapshot // set by the builder's first step
 	ready    bool
 	cost     int64
-	refs     int   // active tasks forked from (or building) this entry
-	lastUsed int64 // round of last use, for LRU eviction under pressure
+	refs     int    // active tasks forked from (or building) this entry
+	seq      uint64 // admission order; deterministic LRU/spill tie-break
+	lastUsed int64  // round of last use, for LRU eviction under pressure
+	// node anchors the entry in the radix cache (nil under the flat cache).
+	node *radixNode
 	// spilled is the raw slot count of this entry's pages accounted
 	// host-resident (two-tier mode): a cached prefix nobody is decoding from
 	// is the coldest state the engine holds.
@@ -216,8 +249,14 @@ func NewEngine(m *model.Model, cfg Config) *Engine {
 		planes:   planes,
 		exact:    !cfg.WorstCaseAdmission,
 		intake:   make(chan []*task, cfg.QueueCap),
-		resident: make(map[uint64]struct{}),
+		resident: make(map[uint64]int),
 		done:     make(chan struct{}),
+	}
+	e.radix = e.exact && !cfg.FlatPrefixCache
+	if e.radix {
+		e.cache = newRadixCache(cfg.PageTokens)
+	} else {
+		e.cache = newFlatCache(cfg.testPrefixHash)
 	}
 	if e.exact {
 		capacity := cfg.KVBudget
@@ -325,28 +364,72 @@ func (e *Engine) TrySubmit(req Request) (*Ticket, bool) {
 	return tk, true
 }
 
-// PrefixResident reports whether the engine's prefix cache currently holds an
-// entry for the given content hash (see PrefixKey) — building or published.
-// Routers use it to place shared-prefix requests on the replica that already
-// paid the prefill. The answer is advisory: the scheduler may evict the entry
-// between the probe and admission, in which case the request simply rebuilds
-// it.
+// PrefixResident reports whether the engine's prefix cache currently holds
+// KV state for the given content hash (see PrefixKey) — building or
+// published. Under the radix cache the hash of any page-aligned prefix of a
+// cached entry answers true, not just whole-entry hashes. Routers use it to
+// place shared-prefix requests on the replica that already paid the prefill.
+// The answer is advisory: the scheduler may evict the entry between the
+// probe and admission, in which case the request simply rebuilds it.
 func (e *Engine) PrefixResident(hash uint64) bool {
 	e.resMu.RLock()
 	defer e.resMu.RUnlock()
-	_, ok := e.resident[hash]
-	return ok
+	return e.resident[hash] > 0
 }
 
-func (e *Engine) markResident(hash uint64) {
+// ResidentPrefixLen reports the deepest prefix of tokens — probed at every
+// page boundary plus the whole slice — whose content hash is resident in the
+// engine's prefix cache, 0 when nothing matches. It is the router-side probe
+// behind longest-prefix affinity: nested-prefix requests go to the replica
+// holding the deepest match. Advisory, like PrefixResident.
+func (e *Engine) ResidentPrefixLen(tokens []int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	P := e.cfg.PageTokens
+	best := 0
+	h := uint64(offset64)
+	e.resMu.RLock()
+	defer e.resMu.RUnlock()
+	for i, t := range tokens {
+		h ^= uint64(t)
+		h *= prime64
+		if (i+1)%P == 0 || i == len(tokens)-1 {
+			if e.resident[h] > 0 {
+				best = i + 1
+			}
+		}
+	}
+	return best
+}
+
+// residentHashes lists the hashes entry p registers in the residency index:
+// its whole page-aligned prefix chain under the radix cache (each one a depth
+// a router probe can reuse), the exact content hash alone under the flat
+// cache (all it can reuse).
+func (e *Engine) residentHashes(p *prefixEntry) []uint64 {
+	if e.radix {
+		return alignedPrefixKeys(p.tokens, e.cfg.PageTokens)
+	}
+	return []uint64{p.chash}
+}
+
+func (e *Engine) markResident(p *prefixEntry) {
 	e.resMu.Lock()
-	e.resident[hash] = struct{}{}
+	for _, h := range e.residentHashes(p) {
+		e.resident[h]++
+	}
 	e.resMu.Unlock()
 }
 
-func (e *Engine) unmarkResident(hash uint64) {
+func (e *Engine) unmarkResident(p *prefixEntry) {
 	e.resMu.Lock()
-	delete(e.resident, hash)
+	for _, h := range e.residentHashes(p) {
+		if e.resident[h]--; e.resident[h] <= 0 {
+			delete(e.resident, h)
+		}
+	}
 	e.resMu.Unlock()
 }
 
@@ -482,11 +565,10 @@ func (e *Engine) loop() {
 	defer close(e.done)
 	defer e.rt.Close()
 	var (
-		pending  []*task
-		active   []*task
-		prefixes = map[uint64]*prefixEntry{}
-		round    int64
-		open     = true
+		pending []*task
+		active  []*task
+		round   int64
+		open    = true
 	)
 	for {
 		// Intake: block only when fully idle; otherwise drain what's there.
@@ -514,14 +596,14 @@ func (e *Engine) loop() {
 			break
 		}
 		if e.abort.Load() {
-			pending = e.failAll(pending, active, prefixes)
+			pending = e.failAll(pending, active)
 			active = nil
 		}
 		if len(pending) == 0 && len(active) == 0 {
 			e.mx.curQueued.Store(0)
 			e.mx.curActive.Store(0)
 			if !open {
-				e.releasePrefixes(prefixes)
+				e.releasePrefixes()
 				return
 			}
 			continue
@@ -532,7 +614,7 @@ func (e *Engine) loop() {
 		// requests cannot starve a large one forever.
 		for len(pending) > 0 && len(active) < e.cfg.MaxBatch {
 			t := pending[0]
-			st := e.admit(t, prefixes, round)
+			st := e.admit(t, round)
 			if st == admitWait {
 				break
 			}
@@ -561,7 +643,7 @@ func (e *Engine) loop() {
 		// the device gauge reflects the post-round steady state the budget
 		// promises. Spill decisions depend only on round-deterministic state
 		// (page counts, budgets, rounds), never on wall clock.
-		e.spillCold(active, prefixes, round)
+		e.spillCold(active, round)
 		// High-water sampling at the round barrier: within a round only
 		// workers allocate (frees happen on this goroutine between rounds),
 		// so the end-of-round gauge is the round's deterministic maximum —
@@ -582,7 +664,7 @@ func (e *Engine) loop() {
 			if t.entry.snap != nil {
 				t.entry.ready = true
 			} else if t.failed != nil {
-				delete(prefixes, t.entry.key)
+				e.cache.remove(t.entry)
 				e.releaseEntry(t.entry)
 			}
 		}
@@ -611,31 +693,45 @@ const (
 	admitFailed
 )
 
-// admit tries to activate the pending head. It reserves the request's KV
-// cost (plus the prefix-cache entry when it creates one) and wires the task
-// to its prefix entry.
-func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) admitStatus {
+// admit tries to activate the pending head. It resolves the request against
+// the prefix cache (exact hit, partial radix reuse, or a new builder entry),
+// reserves the request's KV cost (plus the cache entry's when it creates
+// one), and wires the task to its prefix entry.
+func (e *Engine) admit(t *task, round int64) admitStatus {
 	r := &t.req
 	share := !e.cfg.NoPrefixCache && r.SharedPrefixLen > 0
-	var entry *prefixEntry
+	var (
+		entry *prefixEntry
+		reuse int
+	)
 	if share {
-		prefix := r.Prompt[:r.SharedPrefixLen]
-		key := prefixKey(prefix)
-		for {
-			got, ok := prefixes[key]
-			if !ok {
-				break
-			}
-			if sameTokens(got.tokens, prefix) {
-				entry = got
-				break
-			}
-			key++ // linear probe on (astronomically unlikely) hash collision
-		}
-		if entry != nil && !entry.ready {
-			// Someone is building this prefix right now; wait a round
-			// rather than duplicating the prefill.
+		lk := e.cache.lookup(r.Prompt[:r.SharedPrefixLen])
+		if lk.wait {
+			// Someone is building this prefix (or a deeper reusable ancestor)
+			// right now; wait a round rather than duplicating the prefill.
 			return admitWait
+		}
+		if lk.exact != nil {
+			entry = lk.exact
+			reuse = r.SharedPrefixLen
+			entry.refs++ // pin across the eviction loop below
+		} else if lk.best != nil {
+			// Partial ancestor reuse: fork the reusable prefix now, on the
+			// scheduler goroutine — the fork pins the shared pages even if
+			// the source entry is evicted before the build step runs.
+			reuse = lk.reuse
+			t.baseSnap = lk.best.snap.Prefix(reuse)
+			lk.best.lastUsed = round
+		}
+	}
+	builds := share && entry == nil
+	unpin := func() {
+		if entry != nil {
+			entry.refs--
+		}
+		if t.baseSnap != nil {
+			t.baseSnap.Release()
+			t.baseSnap = nil
 		}
 	}
 
@@ -650,7 +746,6 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 	// decode headroom — which the prefill step swaps for the real page
 	// charges.
 	cost := kvCost(r, share)
-	builds := share && entry == nil
 	if e.exact {
 		// Gate on the smaller of the page estimate and the legacy device
 		// worst-case: a budgeted selector keeps at most Budget tokens per
@@ -663,7 +758,7 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 		if builds {
 			legacy += int64(r.SharedPrefixLen) * e.planes
 		}
-		cost = e.pageEstimate(r, share, builds)
+		cost = e.pageEstimate(r, share, builds, reuse)
 		if legacy < cost {
 			cost = legacy
 		}
@@ -672,17 +767,22 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 	var newEntry *prefixEntry
 	if builds {
 		newEntry = &prefixEntry{tokens: r.Prompt[:r.SharedPrefixLen]}
+		newEntry.chash = prefixKey(newEntry.tokens)
 		if !e.exact {
 			newEntry.cost = int64(r.SharedPrefixLen)
 			need += newEntry.cost
 		}
 	}
 	granted := e.acct.TryReserve(need)
-	for !granted && e.evictIdlePrefix(prefixes) {
-		// Free idle cached prefixes (oldest first) and retry.
+	for !granted && e.evictIdlePrefix(round) {
+		// Free idle cached prefixes (oldest first) and retry. The entry and
+		// pages this admission relies on are safe: the hit entry is pinned by
+		// refs above, and partial reuse holds its own page references through
+		// t.baseSnap.
 		granted = e.acct.TryReserve(need)
 	}
 	if !granted {
+		unpin()
 		// A request too large for the *combined* device + host capacity can
 		// never be admitted; anything smaller waits for retirements (and,
 		// with a host tier, for spills) to free room.
@@ -696,25 +796,20 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 	}
 	t.reserved = cost
 	if newEntry != nil {
-		key := prefixKey(newEntry.tokens)
-		newEntry.chash = key
-		for {
-			if _, ok := prefixes[key]; !ok {
-				break
-			}
-			key++
-		}
-		newEntry.key = key
-		prefixes[key] = newEntry
-		e.markResident(newEntry.chash)
+		newEntry.seq = e.cacheSeq
+		e.cacheSeq++
+		e.cache.insert(newEntry)
+		e.markResident(newEntry)
 		entry = newEntry
+		entry.refs++
 		t.builder = true
+		t.reuse = reuse
 	}
 	if entry != nil {
-		entry.refs++
 		entry.lastUsed = round
 		t.entry = entry
 		t.resp.PrefixHit = !t.builder
+		t.resp.PrefixReusedTokens = reuse
 	}
 	t.resp.ID = t.id
 	t.resp.KVReserved = e.kvUnits(t.reserved)
@@ -730,7 +825,7 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 		case t.builder:
 			disp = 2
 			e.rec.Emit(obs.Event{Type: obs.EvPrefixMiss, Round: round,
-				Req: t.id, N: int64(r.SharedPrefixLen)})
+				Req: t.id, N: int64(r.SharedPrefixLen), Aux: int64(reuse)})
 		case t.entry != nil:
 			disp = 1
 			e.rec.Emit(obs.Event{Type: obs.EvPrefixHit, Round: round,
@@ -749,11 +844,18 @@ func (e *Engine) admit(t *task, prefixes map[uint64]*prefixEntry, round int64) a
 // page by page as it happens and throttles later admissions instead, which
 // is what lets the exact accountant admit long-generation loads the
 // worst-case policy refuses outright.
-func (e *Engine) pageEstimate(r *Request, share, builds bool) int64 {
+//
+// reuse is the token depth served from cached pages (the whole prefix on a
+// hit, the forked ancestor depth for a partial-reuse builder, 0 cold):
+// those pages are already charged and shared by refcount, so only tokens
+// past it allocate. A copy-on-write tail page is charged only when the fork
+// point actually splits a page — a page-aligned fork shares every page
+// purely and copies nothing.
+func (e *Engine) pageEstimate(r *Request, share, builds bool, reuse int) int64 {
 	p := int64(e.arena.PageTokens())
 	toks := int64(len(r.Prompt)) + 1 // +1: re-fed last prompt token
-	if share && !builds {
-		toks -= int64(r.SharedPrefixLen) // prefix pages already charged, shared by refcount
+	if share {
+		toks -= int64(reuse)
 	}
 	headroom := int64(r.MaxNewTokens)
 	if headroom > p {
@@ -761,33 +863,29 @@ func (e *Engine) pageEstimate(r *Request, share, builds bool) int64 {
 	}
 	toks += headroom
 	pages := (toks + p - 1) / p
-	if share {
-		pages++ // copy-on-write of the snapshot's partially filled tail page
+	if share && int64(r.SharedPrefixLen)%p != 0 {
+		pages++ // COW of the snapshot's partially filled tail page at the task's fork
+	}
+	if builds && int64(reuse)%p != 0 {
+		pages++ // COW of the ancestor's tail page at the builder's fork
 	}
 	return pages * p * e.planes
 }
 
 // evictIdlePrefix drops the least-recently-used unreferenced prefix entry,
-// releasing its reservation. It reports whether anything was evicted.
-func (e *Engine) evictIdlePrefix(prefixes map[uint64]*prefixEntry) bool {
-	var victimKey uint64
-	var victim *prefixEntry
-	for k, p := range prefixes {
-		if p.refs > 0 || !p.ready {
-			continue
-		}
-		if victim == nil || p.lastUsed < victim.lastUsed {
-			victim, victimKey = p, k
-		}
-	}
+// releasing its reservation, with admission order (entry seq) as the
+// deterministic tie-break when several entries went idle in the same round.
+// It reports whether anything was evicted.
+func (e *Engine) evictIdlePrefix(round int64) bool {
+	victim := e.cache.evictVictim()
 	if victim == nil {
 		return false
 	}
-	delete(prefixes, victimKey)
+	e.cache.remove(victim)
 	released := victim.cost // 0 under exact accounting: pages free on release
 	e.releaseEntry(victim)
 	e.mx.prefixEvicted.Add(1)
-	e.rec.Emit(obs.Event{Type: obs.EvPrefixEvict, N: e.kvUnits(released)})
+	e.rec.Emit(obs.Event{Type: obs.EvPrefixEvict, Round: round, N: e.kvUnits(released)})
 	return true
 }
 
@@ -796,7 +894,7 @@ func (e *Engine) evictIdlePrefix(prefixes map[uint64]*prefixEntry) bool {
 // shared with live forks survive until those sequences retire, so evicting a
 // busy prefix never invalidates its descendants.
 func (e *Engine) releaseEntry(p *prefixEntry) {
-	e.unmarkResident(p.chash)
+	e.unmarkResident(p)
 	if p.cost > 0 {
 		e.acct.Release(p.cost)
 		p.cost = 0
@@ -852,7 +950,7 @@ func (e *Engine) runRound(active []*task) {
 // (most recent spill first, so long-cold pages stay host). Runs only on the
 // scheduler goroutine at the round barrier (workers are quiescent), on
 // round-deterministic state.
-func (e *Engine) spillCold(active []*task, prefixes map[uint64]*prefixEntry, round int64) {
+func (e *Engine) spillCold(active []*task, round int64) {
 	if !e.exact || e.acct.HostCapacity() <= 0 {
 		return
 	}
@@ -864,7 +962,7 @@ func (e *Engine) spillCold(active []*task, prefixes map[uint64]*prefixEntry, rou
 	excess := e.acct.DeviceUsed() - devCap
 	if excess <= 0 {
 		if headroom := -excess; headroom > 0 {
-			e.promoteSpilled(active, prefixes, headroom, P, round)
+			e.promoteSpilled(active, headroom, P, round)
 		}
 		return
 	}
@@ -874,8 +972,8 @@ func (e *Engine) spillCold(active []*task, prefixes map[uint64]*prefixEntry, rou
 	// prefix hit, which pays a fetch either way). Entries with live forks
 	// are skipped — their pages are claimed, hot floor included, through the
 	// forks' own cold accounting below. Oldest use first, deterministic.
-	entries := make([]*prefixEntry, 0, len(prefixes))
-	for _, p := range prefixes {
+	var entries []*prefixEntry
+	for _, p := range e.cache.entries(nil) {
 		if p.ready && p.snap != nil && p.refs == 0 {
 			entries = append(entries, p)
 		}
@@ -884,7 +982,7 @@ func (e *Engine) spillCold(active []*task, prefixes map[uint64]*prefixEntry, rou
 		if entries[i].lastUsed != entries[j].lastUsed {
 			return entries[i].lastUsed < entries[j].lastUsed
 		}
-		return entries[i].key < entries[j].key
+		return entries[i].seq < entries[j].seq
 	})
 	for _, p := range entries {
 		if excess <= 0 {
@@ -946,7 +1044,7 @@ func (e *Engine) spillCold(active []*task, prefixes map[uint64]*prefixEntry, rou
 // allows, unwinding the most recent spills first. Residual host accounting
 // left by retired tasks (their shared pages outliving them) is promoted once
 // the active claims are exhausted.
-func (e *Engine) promoteSpilled(active []*task, prefixes map[uint64]*prefixEntry, headroom, pageTokens, round int64) {
+func (e *Engine) promoteSpilled(active []*task, headroom, pageTokens, round int64) {
 	avail := e.acct.HostUsed()
 	if avail == 0 {
 		return
@@ -988,8 +1086,8 @@ func (e *Engine) promoteSpilled(active []*task, prefixes map[uint64]*prefixEntry
 	if left <= 0 {
 		return
 	}
-	entries := make([]*prefixEntry, 0, len(prefixes))
-	for _, p := range prefixes {
+	var entries []*prefixEntry
+	for _, p := range e.cache.entries(nil) {
 		if p.spilled > 0 {
 			entries = append(entries, p)
 		}
@@ -998,7 +1096,7 @@ func (e *Engine) promoteSpilled(active []*task, prefixes map[uint64]*prefixEntry
 		if entries[i].lastUsed != entries[j].lastUsed {
 			return entries[i].lastUsed > entries[j].lastUsed
 		}
-		return entries[i].key > entries[j].key
+		return entries[i].seq > entries[j].seq
 	})
 	for _, p := range entries {
 		if left <= 0 {
@@ -1081,16 +1179,37 @@ func (e *Engine) prefillStep(t *task) {
 	}
 	if t.entry != nil {
 		if t.builder {
-			base := e.m.NewSequenceIn(e.arena, nil, 0)
-			func() {
-				// The snapshot retains the prefix pages; drop the builder
-				// sequence's own references even if Prefill panics, so a
-				// failed build never strands pages on the accountant.
-				defer base.Release()
-				base.Prefill(t.entry.tokens, nil)
-				t.entry.snap = base.Snapshot() // published by the scheduler post-round
-			}()
-			t.prefillN += len(t.entry.tokens)
+			switch {
+			case t.baseSnap != nil && t.reuse == len(t.entry.tokens):
+				// The forked ancestor already covers the whole prefix (its
+				// page-aligned length coincides with a deeper cached entry's
+				// coverage): the fork *is* the snapshot, nothing to prefill.
+				t.entry.snap = t.baseSnap
+				t.baseSnap = nil
+			case t.baseSnap != nil:
+				// Continue from the forked ancestor pages and prefill only
+				// the uncovered suffix of the prefix.
+				base := e.m.NewSequenceFrom(t.baseSnap, nil, 0)
+				func() {
+					defer base.Release()
+					base.Prefill(t.entry.tokens[t.reuse:], nil)
+					t.entry.snap = base.Snapshot()
+				}()
+				t.baseSnap.Release()
+				t.baseSnap = nil
+				t.prefillN += len(t.entry.tokens) - t.reuse
+			default:
+				base := e.m.NewSequenceIn(e.arena, nil, 0)
+				func() {
+					// The snapshot retains the prefix pages; drop the builder
+					// sequence's own references even if Prefill panics, so a
+					// failed build never strands pages on the accountant.
+					defer base.Release()
+					base.Prefill(t.entry.tokens, nil)
+					t.entry.snap = base.Snapshot() // published by the scheduler post-round
+				}()
+				t.prefillN += len(t.entry.tokens)
+			}
 		}
 		t.seq = e.m.NewSequenceFrom(t.entry.snap, sel, r.Budget)
 		suffix := r.Prompt[r.SharedPrefixLen:]
@@ -1177,6 +1296,12 @@ func (e *Engine) retire(t *task, round int64, err error) {
 		t.seq.Release()
 		t.seq = nil
 	}
+	if t.baseSnap != nil {
+		// A builder that failed before consuming its partial-reuse fork (or
+		// whose prefill panicked mid-build) still holds the forked pages.
+		t.baseSnap.Release()
+		t.baseSnap = nil
+	}
 	if t.entry != nil {
 		t.entry.refs--
 		t.entry = nil
@@ -1197,21 +1322,21 @@ func (e *Engine) retire(t *task, round int64, err error) {
 }
 
 // failAll aborts every pending and active task (Shutdown past deadline).
-func (e *Engine) failAll(pending, active []*task, prefixes map[uint64]*prefixEntry) []*task {
+func (e *Engine) failAll(pending, active []*task) []*task {
 	for _, t := range active {
 		e.retire(t, -1, ErrAborted)
 	}
 	for _, t := range pending {
 		e.retire(t, -1, ErrAborted)
 	}
-	e.releasePrefixes(prefixes)
+	e.releasePrefixes()
 	return nil
 }
 
 // releasePrefixes returns all cached prefix reservations and pages.
-func (e *Engine) releasePrefixes(prefixes map[uint64]*prefixEntry) {
-	for k, p := range prefixes {
-		delete(prefixes, k)
+func (e *Engine) releasePrefixes() {
+	for _, p := range e.cache.entries(nil) {
+		e.cache.remove(p)
 		e.releaseEntry(p)
 	}
 }

@@ -57,7 +57,12 @@ type Metrics struct {
 	Submitted, Completed, Failed uint64
 	// Prefix-cache counters. Hits and misses count shared-prefix requests
 	// only; requests without a shared prefix count in neither.
+	// PrefixPartialHits is the subset of misses whose builder reused a cached
+	// ancestor's pages (radix cache), and PrefixReusedTokens the total prompt
+	// tokens served from cached pages across full hits and partial reuse.
 	PrefixHits, PrefixMisses, PrefixEvicted uint64
+	PrefixPartialHits                       uint64
+	PrefixReusedTokens                      int64
 	// TokensGenerated counts sampled tokens across completed and in-flight
 	// retired work; PrefillTokens counts tokens actually prefilled (prefix
 	// hits skip their shared part).
@@ -105,8 +110,8 @@ func (m Metrics) String() string {
 		m.Submitted, m.Completed, m.Failed)
 	fmt.Fprintf(&b, "tokens:   %d generated, %d prefilled, %.1f tok/s aggregate\n",
 		m.TokensGenerated, m.PrefillTokens, m.Throughput())
-	fmt.Fprintf(&b, "prefix cache: %d hits, %d misses, %d evicted\n",
-		m.PrefixHits, m.PrefixMisses, m.PrefixEvicted)
+	fmt.Fprintf(&b, "prefix cache: %d hits, %d misses (%d partial), %d evicted, %d tokens reused\n",
+		m.PrefixHits, m.PrefixMisses, m.PrefixPartialHits, m.PrefixEvicted, m.PrefixReusedTokens)
 	fmt.Fprintf(&b, "kv slots: %d used, %d peak, %d capacity\n",
 		m.KVUsed, m.KVPeak, m.KVCapacity)
 	if m.KVHostCapacity > 0 {
@@ -147,6 +152,8 @@ func (m Metrics) FillRegistry(reg *obs.Registry, labels ...obs.Label) {
 	cnt("clusterkv_serve_prefix_hits_total", int64(m.PrefixHits))
 	cnt("clusterkv_serve_prefix_misses_total", int64(m.PrefixMisses))
 	cnt("clusterkv_serve_prefix_evicted_total", int64(m.PrefixEvicted))
+	cnt("clusterkv_serve_prefix_partial_hits_total", int64(m.PrefixPartialHits))
+	cnt("clusterkv_serve_prefix_reused_tokens_total", m.PrefixReusedTokens)
 	cnt("clusterkv_serve_tokens_generated_total", m.TokensGenerated)
 	cnt("clusterkv_serve_prefill_tokens_total", m.PrefillTokens)
 	cnt("clusterkv_serve_rounds_total", m.Rounds)
@@ -195,6 +202,8 @@ type engineMetrics struct {
 	mu                       sync.Mutex
 	completed, failed        uint64
 	prefixHits, prefixMisses uint64
+	prefixPartial            uint64
+	prefixReused             int64
 	tokensOut, prefillTokens int64
 	rounds                   int64
 	kvPeak                   int64
@@ -249,9 +258,13 @@ func (x *engineMetrics) observeAdmit(t *task) {
 	if t.entry != nil {
 		if t.builder {
 			x.prefixMisses++
+			if t.reuse > 0 {
+				x.prefixPartial++
+			}
 		} else {
 			x.prefixHits++
 		}
+		x.prefixReused += int64(t.resp.PrefixReusedTokens)
 	}
 }
 
@@ -301,6 +314,8 @@ func (e *Engine) Metrics() Metrics {
 		PrefixHits:         x.prefixHits,
 		PrefixMisses:       x.prefixMisses,
 		PrefixEvicted:      x.prefixEvicted.Load(),
+		PrefixPartialHits:  x.prefixPartial,
+		PrefixReusedTokens: x.prefixReused,
 		TokensGenerated:    x.tokensOut,
 		PrefillTokens:      x.prefillTokens,
 		Rounds:             x.rounds,

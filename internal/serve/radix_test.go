@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"testing"
+
+	"clusterkv/internal/obs"
+	"clusterkv/internal/rng"
+	"clusterkv/internal/workload"
+)
+
+// nestedRequests converts a nested-prefix session load (multi-turn chat,
+// agentic re-entry, templated RAG) into engine requests matched to testModel's
+// vocabulary.
+func nestedRequests(load []workload.QARequest) []Request {
+	reqs := make([]Request, len(load))
+	for i, q := range load {
+		reqs[i] = Request{
+			Prompt:          q.Prompt,
+			SharedPrefixLen: q.SharedPrefixLen,
+			MaxNewTokens:    q.MaxNewTokens,
+			Budget:          64,
+			NewSelector:     clusterSel,
+		}
+	}
+	return reqs
+}
+
+func conversationRequests() []Request {
+	cc := workload.DefaultConversationConfig()
+	cc.Doc.VocabSize = 128
+	cc.Doc.NTopics = 8
+	cc.Doc.Seed = 41
+	return nestedRequests(workload.ConversationLoad(cc))
+}
+
+// TestRadixNestedPrefixReuse is the tentpole's headline behaviour lock: on a
+// multi-turn conversation load — whose declared prefixes grow turn over turn,
+// so a flat exact-match cache never hits — the radix cache must (a) produce
+// token streams identical to the flat cache (reuse never changes tokens) and
+// (b) prefill strictly fewer tokens by forking the longest page-aligned cached
+// ancestor instead of recomputing it.
+func TestRadixNestedPrefixReuse(t *testing.T) {
+	reqs := conversationRequests()
+
+	run := func(flat bool) ([]Response, Metrics, *Engine) {
+		eng := NewEngine(testModel(), Config{
+			Workers: 2, MaxBatch: 4, Seed: 7,
+			PageTokens:      16,
+			FlatPrefixCache: flat,
+		})
+		resps := eng.Run(reqs)
+		m := eng.Metrics()
+		eng.Close()
+		return resps, m, eng
+	}
+	radixResps, radixM, radixEng := run(false)
+	flatResps, flatM, _ := run(true)
+
+	for i := range reqs {
+		if radixResps[i].Err != nil || flatResps[i].Err != nil {
+			t.Fatalf("request %d failed: radix=%v flat=%v", i, radixResps[i].Err, flatResps[i].Err)
+		}
+		if !sameTokens(radixResps[i].Tokens, flatResps[i].Tokens) {
+			t.Fatalf("request %d: radix tokens %v differ from flat %v",
+				i, radixResps[i].Tokens, flatResps[i].Tokens)
+		}
+		if radixResps[i].PrefixReusedTokens < flatResps[i].PrefixReusedTokens {
+			t.Fatalf("request %d: radix reused %d tokens, flat reused %d",
+				i, radixResps[i].PrefixReusedTokens, flatResps[i].PrefixReusedTokens)
+		}
+	}
+	if radixM.PrefillTokens >= flatM.PrefillTokens {
+		t.Fatalf("radix prefilled %d tokens, flat %d: nested load saved nothing",
+			radixM.PrefillTokens, flatM.PrefillTokens)
+	}
+	if radixM.PrefixPartialHits == 0 {
+		t.Fatalf("radix run recorded no partial hits on a nested load:\n%s", radixM)
+	}
+	if radixM.PrefixReusedTokens <= flatM.PrefixReusedTokens {
+		t.Fatalf("radix reused %d tokens total, flat %d",
+			radixM.PrefixReusedTokens, flatM.PrefixReusedTokens)
+	}
+	// Everything must drain: no page leaks through snapshot forks.
+	if live := radixEng.Arena().LivePages(); live != 0 {
+		t.Fatalf("radix engine leaked %d arena pages after Close", live)
+	}
+	if used := radixEng.Accountant().Used(); used != 0 {
+		t.Fatalf("radix engine leaked %d accounted slots after Close", used)
+	}
+}
+
+// TestRadixAgenticAndRAGLoads runs the remaining two nested-load generators
+// through the radix engine and checks the reuse the workload shapes promise:
+// agentic re-entry reuses (nearly) the whole previous prompt; templated RAG
+// reuses at least the shared template across requests. Tokens must match the
+// flat cache on both.
+func TestRadixAgenticAndRAGLoads(t *testing.T) {
+	ac := workload.DefaultAgenticConfig()
+	ac.Doc.VocabSize = 128
+	ac.Doc.NTopics = 8
+	ac.Doc.Seed = 42
+	rc := workload.DefaultRAGConfig()
+	rc.Doc.VocabSize = 128
+	rc.Doc.NTopics = 8
+	rc.Doc.Seed = 43
+	rc.ChunkLen = 48
+	rc.NRequests = 8
+	for name, load := range map[string][]workload.QARequest{
+		"agentic": workload.AgenticLoad(ac),
+		"rag":     workload.RAGLoad(rc),
+	} {
+		reqs := nestedRequests(load)
+		run := func(flat bool) ([]Response, Metrics) {
+			eng := NewEngine(testModel(), Config{
+				Workers: 2, MaxBatch: 4, Seed: 7,
+				PageTokens:      16,
+				FlatPrefixCache: flat,
+			})
+			defer eng.Close()
+			return eng.Run(reqs), eng.Metrics()
+		}
+		radixResps, radixM := run(false)
+		flatResps, flatM := run(true)
+		for i := range reqs {
+			if !sameTokens(radixResps[i].Tokens, flatResps[i].Tokens) {
+				t.Fatalf("%s request %d: radix tokens differ from flat", name, i)
+			}
+		}
+		if radixM.PrefillTokens >= flatM.PrefillTokens {
+			t.Fatalf("%s: radix prefilled %d tokens, flat %d",
+				name, radixM.PrefillTokens, flatM.PrefillTokens)
+		}
+	}
+}
+
+// TestRadixLookupReusesLongestPrefixProperty is the satellite property test:
+// over random families of nested prompts served one at a time, the engine's
+// reported reuse for every request must equal the oracle — the deepest
+// page-aligned common prefix with any earlier distinct prefix, or that whole
+// earlier prefix when it is a strict token-prefix of the probe — and the run
+// must not leak a single arena page.
+func TestRadixLookupReusesLongestPrefixProperty(t *testing.T) {
+	const (
+		pageTokens = 16
+		vocab      = 128
+	)
+	alignedFloor := func(n int) int { return n / pageTokens * pageTokens }
+	lcp := func(a, b []int) int {
+		n := 0
+		for n < len(a) && n < len(b) && a[n] == b[n] {
+			n++
+		}
+		return n
+	}
+
+	for _, seed := range []uint64{11, 29, 61} {
+		r := rng.New(seed)
+		// Random prompt family: a few root prefixes, each request either
+		// extends a previous request's prefix (nesting), repeats one exactly,
+		// or starts fresh.
+		var prefixes [][]int
+		randRun := func(n int) []int {
+			run := make([]int, n)
+			for i := range run {
+				run[i] = r.Intn(vocab)
+			}
+			return run
+		}
+		for len(prefixes) < 18 {
+			var p []int
+			switch {
+			case len(prefixes) == 0 || r.Float64() < 0.25:
+				p = randRun(pageTokens + r.Intn(4*pageTokens))
+			case r.Float64() < 0.2:
+				p = append([]int(nil), prefixes[r.Intn(len(prefixes))]...)
+			default:
+				base := prefixes[r.Intn(len(prefixes))]
+				// Extend from a random (not necessarily aligned) cut of an
+				// earlier prefix so partial page overlap happens too.
+				cut := 1 + r.Intn(len(base))
+				p = append(append([]int(nil), base[:cut]...), randRun(1+r.Intn(2*pageTokens))...)
+			}
+			prefixes = append(prefixes, p)
+		}
+		reqs := make([]Request, len(prefixes))
+		for i, p := range prefixes {
+			reqs[i] = Request{
+				Prompt:          append(append([]int(nil), p...), randRun(1+r.Intn(8))...),
+				SharedPrefixLen: len(p),
+				MaxNewTokens:    2,
+			}
+		}
+
+		// MaxBatch 1 serialises admission, so request i sees exactly the
+		// entries requests 0..i-1 published (unlimited budget: no eviction).
+		eng := NewEngine(testModel(), Config{Workers: 1, MaxBatch: 1, Seed: 3, PageTokens: pageTokens})
+		resps := eng.Run(reqs)
+
+		seen := [][]int{}
+		for i, p := range prefixes {
+			if resps[i].Err != nil {
+				t.Fatalf("seed %d request %d: %v", seed, i, resps[i].Err)
+			}
+			oracle := 0
+			for _, q := range seen {
+				var reuse int
+				switch {
+				case len(q) <= len(p) && sameTokens(q, p[:len(q)]):
+					reuse = len(q) // whole cached prefix is an ancestor
+				default:
+					reuse = alignedFloor(lcp(q, p))
+				}
+				if reuse > oracle {
+					oracle = reuse
+				}
+			}
+			if got := resps[i].PrefixReusedTokens; got != oracle {
+				t.Fatalf("seed %d request %d: reused %d tokens, oracle %d (prefix len %d)",
+					seed, i, got, oracle, len(p))
+			}
+			wantHit := oracle == len(p) && func() bool {
+				for _, q := range seen {
+					if sameTokens(q, p) {
+						return true
+					}
+				}
+				return false
+			}()
+			if resps[i].PrefixHit != wantHit {
+				t.Fatalf("seed %d request %d: PrefixHit=%v, want %v", seed, i, resps[i].PrefixHit, wantHit)
+			}
+			seen = append(seen, p)
+		}
+		eng.Close()
+		if live := eng.Arena().LivePages(); live != 0 {
+			t.Fatalf("seed %d: %d arena pages leaked after Close", seed, live)
+		}
+		if used := eng.Accountant().Used(); used != 0 {
+			t.Fatalf("seed %d: %d accounted slots leaked after Close", seed, used)
+		}
+	}
+}
+
+// TestPrefixEvictTieBreakSameRound is the eviction-determinism regression: two
+// cache entries that went idle in the same round must evict in admission
+// order (the map-iteration victim scan this replaces picked arbitrarily).
+// Prefixes A and B are built in one round; pressure from C must evict A (the
+// earlier admission), so a follow-up request on B still hits while a follow-up
+// on A rebuilds.
+func TestPrefixEvictTieBreakSameRound(t *testing.T) {
+	mk := func(seed uint64) []int { return testDoc(seed, 32) }
+	a, b, c := mk(21), mk(22), mk(23)
+	req := func(prefix []int) Request {
+		prompt := append(append([]int(nil), prefix...), testDoc(99, 8)...)
+		return Request{Prompt: prompt, SharedPrefixLen: len(prefix), MaxNewTokens: 1}
+	}
+	tracer := obs.NewTracer(0)
+	// Worst-case admission: entry cost = prefix len (32 each), request cost =
+	// 8+1+1 = 10. Budget 100 fits building A and B together (2×42) and forces
+	// exactly one eviction when C arrives (32+32+42 > 100).
+	eng := NewEngine(testModel(), Config{
+		Workers: 1, MaxBatch: 2, Seed: 5,
+		KVBudget:           100,
+		WorstCaseAdmission: true,
+		Trace:              tracer.Recorder(0),
+	})
+	defer eng.Close()
+	resps := eng.Run([]Request{req(a), req(b), req(c), req(b), req(a)})
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+	}
+	if !resps[3].PrefixHit {
+		t.Fatalf("B was evicted before A: same-round tie-break must evict the earlier admission")
+	}
+	if resps[4].PrefixHit {
+		t.Fatalf("A survived C's pressure: expected A (earliest same-round idle entry) evicted")
+	}
+	evicts := 0
+	for _, ev := range tracer.Events() {
+		if ev.Type == obs.EvPrefixEvict {
+			evicts++
+			if ev.Round < 1 {
+				t.Fatalf("EvPrefixEvict missing its round: %+v", ev)
+			}
+		}
+	}
+	if evicts == 0 {
+		t.Fatalf("no EvPrefixEvict events recorded under pressure")
+	}
+}
+
+// TestFlatCacheCollisionRemove is the probing-regression unit test: colliding
+// entries coexist in one bucket, and removing one never orphans or duplicates
+// the others (the linear-probing scheme this replaces broke its probe chain on
+// delete, stranding collided entries unreachable).
+func TestFlatCacheCollisionRemove(t *testing.T) {
+	collide := func([]int) uint64 { return 42 }
+	c := newFlatCache(collide)
+	e1 := &prefixEntry{tokens: []int{1, 2}, ready: true, seq: 0}
+	e2 := &prefixEntry{tokens: []int{3, 4}, ready: true, seq: 1}
+	e3 := &prefixEntry{tokens: []int{5, 6}, ready: true, seq: 2}
+	for _, e := range []*prefixEntry{e1, e2, e3} {
+		c.insert(e)
+	}
+	c.remove(e2)
+	if lk := c.lookup(e1.tokens); lk.exact != e1 {
+		t.Fatalf("removing a collided sibling lost e1: %+v", lk)
+	}
+	if lk := c.lookup(e3.tokens); lk.exact != e3 {
+		t.Fatalf("removing a collided sibling lost e3: %+v", lk)
+	}
+	if lk := c.lookup(e2.tokens); lk.exact != nil || lk.wait {
+		t.Fatalf("removed entry still found: %+v", lk)
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	c.remove(e1)
+	c.remove(e3)
+	if c.len() != 0 || len(c.buckets) != 0 {
+		t.Fatalf("cache not empty after removing everything: len=%d buckets=%d", c.len(), len(c.buckets))
+	}
+}
+
+// TestEngineFlatCacheForcedCollisions drives a live engine whose flat cache
+// hashes every prefix to one bucket: distinct prefixes must still build, hit
+// and evict independently.
+func TestEngineFlatCacheForcedCollisions(t *testing.T) {
+	mk := func(seed uint64) []int { return testDoc(seed, 24) }
+	req := func(prefix []int) Request {
+		prompt := append(append([]int(nil), prefix...), testDoc(77, 6)...)
+		return Request{Prompt: prompt, SharedPrefixLen: len(prefix), MaxNewTokens: 2}
+	}
+	a, b := mk(31), mk(32)
+	eng := NewEngine(testModel(), Config{
+		Workers: 1, MaxBatch: 1, Seed: 9,
+		FlatPrefixCache: true,
+		testPrefixHash:  func([]int) uint64 { return 7 },
+	})
+	defer eng.Close()
+	resps := eng.Run([]Request{req(a), req(b), req(a), req(b)})
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+	}
+	if resps[0].PrefixHit || resps[1].PrefixHit {
+		t.Fatalf("cold builds reported hits: %v %v", resps[0].PrefixHit, resps[1].PrefixHit)
+	}
+	if !resps[2].PrefixHit || !resps[3].PrefixHit {
+		t.Fatalf("colliding prefixes must both stay hittable: a=%v b=%v",
+			resps[2].PrefixHit, resps[3].PrefixHit)
+	}
+}
+
+// TestPageEstimateAlignedPrefix locks the admission-estimate bugfix: a
+// page-aligned shared prefix forks without copying any tail page, so the
+// estimate must not charge one; an unaligned fork still must.
+func TestPageEstimateAlignedPrefix(t *testing.T) {
+	eng := NewEngine(testModel(), Config{Workers: 1, PageTokens: 16})
+	defer eng.Close()
+	planes := int64(4) // testModel: 2 layers × 2 KV heads
+	page := int64(16)
+
+	// Hit path (share, not builds): prompt 37+1 tokens, 32 reused, headroom
+	// capped at one page → 6+16 = 22 marginal tokens.
+	r := &Request{Prompt: make([]int, 37), SharedPrefixLen: 32, MaxNewTokens: 40}
+	if got, want := eng.pageEstimate(r, true, false, 32), 2*page*planes; got != want {
+		t.Fatalf("aligned hit estimate %d, want %d (no COW tail page)", got, want)
+	}
+	r.SharedPrefixLen = 30
+	if got, want := eng.pageEstimate(r, true, false, 30), 3*page*planes; got != want {
+		t.Fatalf("unaligned hit estimate %d, want %d (one COW tail page)", got, want)
+	}
+
+	// Builder path: reuse is the forked ancestor's depth; only an unaligned
+	// ancestor fork pays a tail page (on top of the task's own fork charge).
+	r.SharedPrefixLen = 32
+	if got, want := eng.pageEstimate(r, true, true, 16), 3*page*planes; got != want {
+		t.Fatalf("aligned builder estimate %d, want %d", got, want)
+	}
+	if got, want := eng.pageEstimate(r, true, true, 0), 4*page*planes; got != want {
+		// Cold build: 38+16 tokens → 4 pages, aligned fork, no tails.
+		t.Fatalf("cold builder estimate %d, want %d", got, want)
+	}
+}

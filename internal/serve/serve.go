@@ -18,7 +18,11 @@
 //   - prefix caching: requests that declare a shared prompt prefix (the
 //     long-document multi-question scenario ClusterKV targets) reuse one
 //     prefill via copy-on-write kvcache.Store forks instead of recomputing
-//     it, sharing every fully common KV page block-granularly;
+//     it, sharing every fully common KV page block-granularly. The cache is
+//     a radix tree over page-aligned token runs, so nested prefixes
+//     (multi-turn chat, agentic re-entry, templated RAG) reuse the longest
+//     page-aligned common prefix of any cached entry even without an exact
+//     match (Config.FlatPrefixCache restores exact-match-only reuse);
 //   - per-request selectors: every request brings its own Selector factory,
 //     so ClusterKV, Quest and FullKV tenants can share one server;
 //   - deterministic execution: given a seed and a fixed submission order,
@@ -80,9 +84,14 @@ type Response struct {
 	Tokens []int
 	// Err is nil on success.
 	Err error
-	// PrefixHit reports whether the shared prefix was served from the
+	// PrefixHit reports whether the whole shared prefix was served from the
 	// prefix cache instead of being prefilled.
 	PrefixHit bool
+	// PrefixReusedTokens is the number of prompt tokens whose prefill was
+	// skipped via the prefix cache: SharedPrefixLen on a full hit, the
+	// longest page-aligned (or whole-entry) cached ancestor's depth when the
+	// radix cache partially covered a new prefix, 0 on a cold build.
+	PrefixReusedTokens int
 	// KVReserved is the admission charge in per-head token slots: under
 	// exact page accounting, the page-rounded prefill estimate (plus decode
 	// headroom) the request was gated on; under worst-case admission, the
@@ -152,10 +161,37 @@ func kvCost(r *Request, prefixShared bool) int64 {
 }
 
 // PrefixKey content-addresses a shared prefix: the same hash the engine's
-// prefix cache is keyed by. Routers compute it over Prompt[:SharedPrefixLen]
-// and probe Engine.PrefixResident to find the replica that already holds the
-// prefill.
+// prefix-residency index is keyed by. Routers compute it over
+// Prompt[:SharedPrefixLen] and probe Engine.PrefixResident to find the
+// replica that already holds the prefill.
 func PrefixKey(tokens []int) uint64 { return prefixKey(tokens) }
+
+// AlignedPrefixKeys returns the content hash of every page-aligned prefix of
+// tokens (pageTokens, 2·pageTokens, ...) plus the whole slice, in one rolling
+// FNV-1a pass; the last element always equals PrefixKey(tokens). These are
+// the depths the radix-cached engine registers in its residency index, so a
+// router can probe a nested prefix from deepest to shallowest and place the
+// request on the replica holding the longest match.
+func AlignedPrefixKeys(tokens []int, pageTokens int) []uint64 {
+	return alignedPrefixKeys(tokens, pageTokens)
+}
+
+func alignedPrefixKeys(tokens []int, pageTokens int) []uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	out := make([]uint64, 0, len(tokens)/pageTokens+1)
+	h := uint64(offset64)
+	for i, t := range tokens {
+		h ^= uint64(t)
+		h *= prime64
+		if (i+1)%pageTokens == 0 || i == len(tokens)-1 {
+			out = append(out, h)
+		}
+	}
+	return out
+}
 
 // prefixKey content-addresses a shared prefix with FNV-1a over its tokens.
 // Hits verify the actual tokens, so a collision can never alias prefills.

@@ -156,3 +156,42 @@ func TestTransferOverlapCountersConcurrentRounds(t *testing.T) {
 		t.Fatalf("prefetch hit rate %v out of [0,1]", r)
 	}
 }
+
+// TestTracePrefixEvictStampsRound locks the eviction event's round stamp: an
+// engine under enough budget pressure to evict cached prefixes must emit one
+// EvPrefixEvict per metrics-counted eviction, every one carrying the scheduler
+// round it happened in (the event used to be emitted round-less, which made
+// eviction timing unreconstructable from a trace).
+func TestTracePrefixEvictStampsRound(t *testing.T) {
+	reqs := conversationRequests()
+	tracer := obs.NewTracer(0)
+	eng := NewEngine(testModel(), Config{
+		Workers: 1, MaxBatch: 2, Seed: 7,
+		PageTokens: 16,
+		KVBudget:   500, // tight enough that admitting later turns evicts earlier entries
+		Trace:      tracer.Recorder(0),
+	})
+	for _, r := range eng.Run(reqs) {
+		if r.Err != nil {
+			t.Fatalf("request failed under eviction pressure: %v", r.Err)
+		}
+	}
+	m := eng.Metrics()
+	eng.Close()
+	if m.PrefixEvicted == 0 {
+		t.Fatalf("load did not trigger any prefix eviction; tighten the budget:\n%s", m)
+	}
+	var evicts uint64
+	for _, ev := range tracer.Events() {
+		if ev.Type != obs.EvPrefixEvict {
+			continue
+		}
+		evicts++
+		if ev.Round < 1 {
+			t.Fatalf("EvPrefixEvict without a round stamp: %+v", ev)
+		}
+	}
+	if evicts != m.PrefixEvicted {
+		t.Fatalf("%d evict events, metrics counted %d", evicts, m.PrefixEvicted)
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import "testing"
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkNestedLoad asserts the invariants every session load must keep: valid
+// requests (shared prefix strictly inside the prompt, tokens in vocabulary)
+// and determinism across re-generation.
+func checkNestedLoad(t *testing.T, name string, load, again []QARequest, vocab int) {
+	t.Helper()
+	if len(load) == 0 {
+		t.Fatalf("%s: empty load", name)
+	}
+	if len(load) != len(again) {
+		t.Fatalf("%s: regenerated load has %d requests, want %d", name, len(again), len(load))
+	}
+	for i, q := range load {
+		if q.SharedPrefixLen <= 0 || q.SharedPrefixLen >= len(q.Prompt) {
+			t.Fatalf("%s[%d]: SharedPrefixLen %d outside (0, %d)", name, i, q.SharedPrefixLen, len(q.Prompt))
+		}
+		for _, tok := range q.Prompt {
+			if tok < 0 || tok >= vocab {
+				t.Fatalf("%s[%d]: token %d outside vocab %d", name, i, tok, vocab)
+			}
+		}
+		if !sameInts(q.Prompt, again[i].Prompt) || q.SharedPrefixLen != again[i].SharedPrefixLen {
+			t.Fatalf("%s[%d]: regeneration differs", name, i)
+		}
+	}
+}
+
+// TestConversationLoadNesting locks the chat generator's defining property:
+// within a session, turn k's declared shared prefix extends turn k-1's whole
+// prompt (history = previous prompt + scripted reply), and every session
+// starts with the common system prompt.
+func TestConversationLoadNesting(t *testing.T) {
+	cfg := DefaultConversationConfig()
+	load := ConversationLoad(cfg)
+	checkNestedLoad(t, "chat", load, ConversationLoad(cfg), cfg.Doc.VocabSize)
+	if len(load) != cfg.Sessions*cfg.Turns {
+		t.Fatalf("%d requests, want %d", len(load), cfg.Sessions*cfg.Turns)
+	}
+	// Turn-major order: request index = turn*Sessions + session.
+	for s := 0; s < cfg.Sessions; s++ {
+		prev := load[s] // turn 0 of session s
+		if prev.SharedPrefixLen != cfg.SystemLen {
+			t.Fatalf("session %d turn 0 shares %d tokens, want system %d", s, prev.SharedPrefixLen, cfg.SystemLen)
+		}
+		for turn := 1; turn < cfg.Turns; turn++ {
+			q := load[turn*cfg.Sessions+s]
+			if q.Doc != s {
+				t.Fatalf("session %d turn %d carries Doc %d", s, turn, q.Doc)
+			}
+			wantShared := len(prev.Prompt) + cfg.ReplyLen
+			if q.SharedPrefixLen != wantShared {
+				t.Fatalf("session %d turn %d shares %d, want %d", s, turn, q.SharedPrefixLen, wantShared)
+			}
+			if !sameInts(q.Prompt[:len(prev.Prompt)], prev.Prompt) {
+				t.Fatalf("session %d turn %d prompt does not extend turn %d's", s, turn, turn-1)
+			}
+			prev = q
+		}
+	}
+}
+
+// TestAgenticLoadNesting locks re-entry: each step's prompt extends the
+// previous step's whole prompt and declares exactly it shared.
+func TestAgenticLoadNesting(t *testing.T) {
+	cfg := DefaultAgenticConfig()
+	load := AgenticLoad(cfg)
+	checkNestedLoad(t, "agentic", load, AgenticLoad(cfg), cfg.Doc.VocabSize)
+	if len(load) != cfg.Agents*cfg.Steps {
+		t.Fatalf("%d requests, want %d", len(load), cfg.Agents*cfg.Steps)
+	}
+	for a := 0; a < cfg.Agents; a++ {
+		prev := load[a]
+		if prev.SharedPrefixLen != cfg.SystemLen {
+			t.Fatalf("agent %d step 0 shares %d, want scaffold %d", a, prev.SharedPrefixLen, cfg.SystemLen)
+		}
+		for step := 1; step < cfg.Steps; step++ {
+			q := load[step*cfg.Agents+a]
+			if q.SharedPrefixLen != len(prev.Prompt) {
+				t.Fatalf("agent %d step %d shares %d, want previous prompt %d",
+					a, step, q.SharedPrefixLen, len(prev.Prompt))
+			}
+			if !sameInts(q.Prompt[:len(prev.Prompt)], prev.Prompt) {
+				t.Fatalf("agent %d step %d prompt does not re-enter step %d's", a, step, step-1)
+			}
+			prev = q
+		}
+	}
+}
+
+// TestRAGLoadTemplate locks the templated-RAG shape: every prompt starts with
+// the common template, the declared shared prefix covers template + chunks
+// (everything but the question), and at least two requests agree on their
+// leading chunk (otherwise the load exercises nothing).
+func TestRAGLoadTemplate(t *testing.T) {
+	cfg := DefaultRAGConfig()
+	load := RAGLoad(cfg)
+	checkNestedLoad(t, "rag", load, RAGLoad(cfg), cfg.Doc.VocabSize)
+	template := load[0].Prompt[:cfg.TemplateLen]
+	firstChunk := map[int]int{}
+	for i, q := range load {
+		if !sameInts(q.Prompt[:cfg.TemplateLen], template) {
+			t.Fatalf("request %d does not start with the template", i)
+		}
+		wantShared := cfg.TemplateLen + cfg.ChunksPerRequest*cfg.ChunkLen
+		if q.SharedPrefixLen != wantShared {
+			t.Fatalf("request %d shares %d, want %d", i, q.SharedPrefixLen, wantShared)
+		}
+		firstChunk[q.Doc]++
+	}
+	shared := false
+	for _, n := range firstChunk {
+		if n > 1 {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Fatalf("no two requests agree on a leading chunk: %v", firstChunk)
+	}
+}
