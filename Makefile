@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-seq test-xfer-race test-fleet test-trace vet race bench bench-smoke bench-json serve clean
+.PHONY: build test test-seq test-xfer-race test-fleet test-trace test-kernels vet race bench bench-smoke bench-json serve clean
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,15 @@ test-trace:
 # metrics + options + seed + commit) for the experiments with headline
 # numbers worth diffing across commits. Quick scale — not a measurement run.
 bench-json:
-	$(GO) run ./cmd/clusterkv-bench -exp fleet,pagedkv,overlap,radix -json bench-out
+	$(GO) run ./cmd/clusterkv-bench -exp fleet,pagedkv,overlap,radix,kernels -json bench-out
+
+# Kernel conformance lane: the blocked/packed/fused/quantized decode kernel
+# suites at GOMAXPROCS=1 and at GOMAXPROCS=2 with the race detector, locking
+# the bit-identity and bounded-ULP contracts of DESIGN.md §12 independently
+# of the scheduler.
+test-kernels:
+	GOMAXPROCS=1 $(GO) test -count=1 -run 'Blocked|DotRows|AddScaledRows|PackedMat|Fused|Quant|ComputeQuant|DecodeSteady' ./internal/tensor/ ./internal/attention/ ./internal/kvcache/ ./internal/model/
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Blocked|DotRows|AddScaledRows|PackedMat|Fused|Quant|ComputeQuant|DecodeSteady' ./internal/tensor/ ./internal/attention/ ./internal/kvcache/ ./internal/model/
 
 # Benchmark smoke lane: compile and run every benchmark in the module once,
 # so perf-critical paths (serve engine, paged arena, parallel kernels) cannot

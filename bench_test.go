@@ -330,6 +330,40 @@ func BenchmarkForkDivergence(b *testing.B) {
 	b.ReportMetric(pagesPerFork, "pages/fork")
 }
 
+// BenchmarkDecodeSteadyAllocs asserts the steady-state decode allocation
+// contract (DESIGN.md §12): with reusable attention scratch, the packed
+// LM-head GEMV and a caller-provided logits buffer, a full-attention decode
+// round allocates nothing once rope tables and scratch capacities have
+// warmed up. Page-boundary rounds legitimately allocate (one page per
+// (layer, kvHead) plane every PageTokens steps); the measured window is
+// placed to avoid them. Runs in `make bench-smoke`, so a regression that
+// reintroduces per-round allocations fails CI rather than silently eroding
+// decode tok/s.
+func BenchmarkDecodeSteadyAllocs(b *testing.B) {
+	clusterkv.SetIntraOpWorkers(1)
+	defer clusterkv.SetIntraOpWorkers(runtime.GOMAXPROCS(0))
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	doc := clusterkv.Doc(clusterkv.DefaultDocConfig(), 1024)
+	seq := m.NewSequence(nil, 0)
+	seq.Prefill(doc, nil)
+	logits := make([]float32, m.Config().VocabSize)
+	tok := doc[0]
+	// Warm-up: cross the post-prefill page boundary, grow rope headroom and
+	// the scratch buffers.
+	for i := 0; i < 4; i++ {
+		seq.DecodeInto(tok, logits)
+	}
+	allocs := testing.AllocsPerRun(40, func() { seq.DecodeInto(tok, logits) })
+	b.ReportMetric(allocs, "allocs/round")
+	if allocs > 0.5 {
+		b.Fatalf("steady-state decode allocates %.1f objects/round, want 0", allocs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq.DecodeInto(tok, logits)
+	}
+}
+
 // BenchmarkTransformerDecode measures one decode step with ClusterKV active.
 func BenchmarkTransformerDecode(b *testing.B) {
 	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())

@@ -68,6 +68,7 @@ func main() {
 		hostBud   = flag.Int64("hostbudget", 0, "host-tier KV budget in per-head token slots (0 = single-tier); with -kvbudget set, admission gates on device+host and cold pages spill host-ward between rounds")
 		syncXfer  = flag.Bool("synctransfers", false, "force synchronous KV transfers (no layer-ahead prefetch overlap)")
 		worstCase = flag.Bool("worstcase", false, "revert to worst-case up-front KV reservations (pre-paged admission policy)")
+		decodeKVQ = flag.Int("decodekvbits", 0, "int8-style quantized KV decode bit width (2..8, 0 = exact float path); quantized runs are deterministic per seed but not token-identical to serial, so -verify is disabled")
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		method    = flag.String("method", "all", "methods to serve (clusterkv, quest, fullkv, all)")
@@ -82,6 +83,13 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *decodeKVQ != 0 && *verifyOut {
+		// The quantized decode path trades token identity with the exact
+		// serial baseline for compute density (bounded-ULP contract).
+		fmt.Println("note: -decodekvbits disables -verify (quantized decode is not token-identical to the serial float baseline)")
+		*verifyOut = false
+	}
 
 	if *intraOp > 0 {
 		clusterkv.SetIntraOpWorkers(*intraOp)
@@ -208,6 +216,7 @@ func main() {
 		cfg.HostBudget = *hostBud
 		cfg.SyncTransfers = *syncXfer
 		cfg.WorstCaseAdmission = *worstCase
+		cfg.DecodeKVBits = *decodeKVQ
 		cfg.NoPrefixCache = *noPrefix
 		cfg.FlatPrefixCache = *flatCache
 		cfg.Seed = *seed

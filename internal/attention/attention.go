@@ -4,10 +4,18 @@
 // raw attention-weight probes used for importance analysis.
 //
 // All routines operate on a single (layer, head) kvcache.Store; batching
-// across heads is done by callers. The gather paths read the store's pages
-// directly (KeyPage/ValuePage) — no flat materialisation — walking tokens in
-// position order with the same per-row arithmetic as a contiguous layout, so
-// outputs are bit-identical to the flat-copy fallback (Store.Keys/Values).
+// across heads is done by callers. The gather paths are *fused* with the
+// score and weighted-sum loops (DESIGN.md §12): selected tokens are walked as
+// page runs — maximal stretches of consecutive positions inside one page — so
+// each run is one blocked kernel call over contiguous page rows, with no
+// intermediate gathered copy. Per-row arithmetic order matches a contiguous
+// layout exactly, so exact-path outputs are bit-identical to the flat-copy
+// fallback (Store.Keys/Values) at any worker count.
+//
+// Stores opted into compute quantization (Store.SetComputeQuant) dispatch per
+// page run to int8 kernels that read quant.Tensor codes directly — see
+// quantized.go for the folded-zero-point algebra and the bounded-ULP
+// contract.
 package attention
 
 import (
@@ -17,83 +25,208 @@ import (
 	"clusterkv/internal/tensor"
 )
 
-// Full computes out = softmax(q·Kᵀ/√d)·V over all n tokens currently in the
-// store. scores is scratch space of length ≥ n (pass nil to allocate).
-// It returns the scratch slice for reuse.
-func Full(out, q []float32, s *kvcache.Store, scores []float32) []float32 {
-	n := s.Len()
-	d := s.HeadDim()
-	if cap(scores) < n {
-		scores = make([]float32, n)
+// Scratch holds the reusable per-sequence (or per-worker) buffers of the
+// decode attention kernels, so steady-state decode rounds allocate nothing:
+// buffers grow geometrically and are reused across calls. A Scratch is not
+// safe for concurrent use; give each goroutine its own.
+type Scratch struct {
+	scores []float32
+	fold   []float32 // folded quant coefficients (see quantized.go)
+
+	// QuantRuns and FloatRuns count page runs dispatched to the int8 and
+	// float32 kernels while compute quantization was enabled on the store —
+	// the serve metrics source for quantized-decode coverage. Runs on stores
+	// with the exact path (ComputeQuantBits == 0) are not counted.
+	QuantRuns, FloatRuns int64
+}
+
+// Scores returns the score buffer sized to n, growing capacity geometrically
+// (never shrinking) so a decode loop whose context grows by one token per
+// step amortises to zero allocations.
+func (sc *Scratch) Scores(n int) []float32 {
+	sc.scores = growF32(sc.scores, n)
+	return sc.scores
+}
+
+func (sc *Scratch) foldBuf(n int) []float32 {
+	sc.fold = growF32(sc.fold, n)
+	return sc.fold
+}
+
+func growF32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		c := 2 * cap(buf)
+		if c < n {
+			c = n
+		}
+		if c < 64 {
+			c = 64
+		}
+		buf = make([]float32, c)
 	}
-	scores = scores[:n]
-	Weights(scores, q, s)
-	tensor.Softmax(scores)
-	tensor.Fill(out, 0)
-	i := 0
-	for p := 0; p < s.NumPages(); p++ {
-		vals := s.ValuePage(p)
-		for r := 0; r < len(vals); r += d {
-			w := scores[i]
-			i++
-			if w == 0 {
+	return buf[:n]
+}
+
+// Full computes out = softmax(q·Kᵀ/√d)·V over all n tokens currently in the
+// store, page by page with the blocked kernels.
+func (sc *Scratch) Full(out, q []float32, s *kvcache.Store) {
+	sc.FullN(out, q, s, s.Len())
+}
+
+// FullN is Full restricted to the first n tokens — the causal attention of a
+// prefill position, which must ignore the later positions already appended
+// to the store by the same layer pass.
+func (sc *Scratch) FullN(out, q []float32, s *kvcache.Store, n int) {
+	d := s.HeadDim()
+	scores := sc.Scores(n)
+	inv := float32(1 / math.Sqrt(float64(d)))
+	bits := s.ComputeQuantBits()
+	for p, i := 0, 0; i < n; p++ {
+		rows := s.PageRows(p)
+		if rows > n-i {
+			rows = n - i
+		}
+		if bits > 0 {
+			if qk, _ := s.PageQuant(p); qk != nil {
+				dotQuantK(scores[i:i+rows], q, qk, 0, inv, sc.foldBuf(d))
+				sc.QuantRuns++
+				i += rows
 				continue
 			}
-			row := vals[r : r+d]
-			for j := range out {
-				out[j] += w * row[j]
+			sc.FloatRuns++
+		}
+		tensor.DotRows(scores[i:i+rows], q, s.KeyPage(p), d, inv)
+		i += rows
+	}
+	tensor.Softmax(scores)
+	tensor.Fill(out, 0)
+	for p, i := 0, 0; i < n; p++ {
+		rows := s.PageRows(p)
+		if rows > n-i {
+			rows = n - i
+		}
+		if bits > 0 {
+			if _, qv := s.PageQuant(p); qv != nil {
+				addQuantV(out, scores[i:i+rows], qv, 0, sc.foldBuf(rows))
+				i += rows
+				continue
 			}
 		}
+		tensor.AddScaledRows(out, scores[i:i+rows], s.ValuePage(p), d)
+		i += rows
 	}
-	return scores
+}
+
+// Sparse computes out = softmax(q·K_Sᵀ/√d)·V_S over the tokens listed in
+// idx, fusing the gather with the kernels: maximal runs of consecutive
+// positions within one page (selectors emit sorted indices, so cluster- and
+// page-contiguous selections form long runs) become single blocked calls over
+// the page's contiguous rows; isolated indices degrade to one-row runs.
+// idx order is preserved — scores and accumulation follow idx exactly as the
+// unfused per-token loop, so exact-path outputs are bit-identical to it.
+func (sc *Scratch) Sparse(out, q []float32, s *kvcache.Store, idx []int) {
+	m := len(idx)
+	d := s.HeadDim()
+	P := s.PageTokens()
+	scores := sc.Scores(m)
+	inv := float32(1 / math.Sqrt(float64(d)))
+	bits := s.ComputeQuantBits()
+	for j := 0; j < m; {
+		i0 := idx[j]
+		p := i0 / P
+		e := runEnd(idx, j, (p+1)*P)
+		from := i0 - p*P
+		if bits > 0 {
+			if qk, _ := s.PageQuant(p); qk != nil {
+				dotQuantK(scores[j:e], q, qk, from, inv, sc.foldBuf(d))
+				sc.QuantRuns++
+				j = e
+				continue
+			}
+			sc.FloatRuns++
+		}
+		keys := s.KeyPage(p)
+		tensor.DotRows(scores[j:e], q, keys[from*d:(from+e-j)*d], d, inv)
+		j = e
+	}
+	tensor.Softmax(scores)
+	tensor.Fill(out, 0)
+	for j := 0; j < m; {
+		i0 := idx[j]
+		p := i0 / P
+		e := runEnd(idx, j, (p+1)*P)
+		from := i0 - p*P
+		if bits > 0 {
+			if _, qv := s.PageQuant(p); qv != nil {
+				addQuantV(out, scores[j:e], qv, from, sc.foldBuf(e-j))
+				j = e
+				continue
+			}
+		}
+		vals := s.ValuePage(p)
+		tensor.AddScaledRows(out, scores[j:e], vals[from*d:(from+e-j)*d], d)
+		j = e
+	}
+}
+
+// runEnd extends a page run: the longest stretch idx[j..e) of consecutive
+// positions that stays below pageEnd. Works for any idx order — non-adjacent
+// or descending neighbours simply end the run.
+func runEnd(idx []int, j, pageEnd int) int {
+	e := j + 1
+	for e < len(idx) && idx[e] == idx[e-1]+1 && idx[e] < pageEnd {
+		e++
+	}
+	return e
+}
+
+// weights writes the scaled raw attention logits into dst using sc's fold
+// scratch for quantized pages.
+func (sc *Scratch) weights(dst, q []float32, s *kvcache.Store) {
+	d := s.HeadDim()
+	inv := float32(1 / math.Sqrt(float64(d)))
+	n := s.Len()
+	bits := s.ComputeQuantBits()
+	for p, i := 0, 0; i < n; p++ {
+		rows := s.PageRows(p)
+		if bits > 0 {
+			if qk, _ := s.PageQuant(p); qk != nil {
+				dotQuantK(dst[i:i+rows], q, qk, 0, inv, sc.foldBuf(d))
+				i += rows
+				continue
+			}
+		}
+		tensor.DotRows(dst[i:i+rows], q, s.KeyPage(p), d, inv)
+		i += rows
+	}
+}
+
+// Full computes out = softmax(q·Kᵀ/√d)·V over all n tokens currently in the
+// store. scores is scratch space of length ≥ n (pass nil to allocate).
+// It returns the scratch slice for reuse. Callers on a decode hot path should
+// hold a Scratch and use its Full method instead.
+func Full(out, q []float32, s *kvcache.Store, scores []float32) []float32 {
+	sc := Scratch{scores: scores}
+	sc.Full(out, q, s)
+	return sc.scores
 }
 
 // Sparse computes out = softmax(q·K_Sᵀ/√d)·V_S over the tokens listed in
 // idx. scores is scratch of length ≥ len(idx). It returns the scratch slice.
+// Callers on a decode hot path should hold a Scratch and use its Sparse
+// method instead.
 func Sparse(out, q []float32, s *kvcache.Store, idx []int, scores []float32) []float32 {
-	m := len(idx)
-	if cap(scores) < m {
-		scores = make([]float32, m)
-	}
-	scores = scores[:m]
-	inv := float32(1 / math.Sqrt(float64(s.HeadDim())))
-	for j, p := range idx {
-		scores[j] = tensor.Dot(q, s.Key(p)) * inv
-	}
-	tensor.Softmax(scores)
-	tensor.Fill(out, 0)
-	for j, p := range idx {
-		w := scores[j]
-		if w == 0 {
-			continue
-		}
-		row := s.Value(p)
-		for t := range out {
-			out[t] += w * row[t]
-		}
-	}
-	return scores
+	sc := Scratch{scores: scores}
+	sc.Sparse(out, q, s, idx)
+	return sc.scores
 }
 
 // Weights writes the scaled raw attention logits q·k_i/√d for every token i
 // into dst (length must be ≥ s.Len()). No softmax is applied; these are the
 // "attention weights" the paper's selection methods rank by (q·Kᵀ, §III-A).
 func Weights(dst, q []float32, s *kvcache.Store) {
-	d := s.HeadDim()
-	inv := float32(1 / math.Sqrt(float64(d)))
-	i := 0
-	for p := 0; p < s.NumPages(); p++ {
-		keys := s.KeyPage(p)
-		for r := 0; r < len(keys); r += d {
-			row := keys[r : r+d]
-			var dot float32
-			for j := range q {
-				dot += q[j] * row[j]
-			}
-			dst[i] = dot * inv
-			i++
-		}
-	}
+	var sc Scratch
+	sc.weights(dst[:s.Len()], q, s)
 }
 
 // TopTrue returns the indices of the B tokens with the largest attention
@@ -101,10 +234,7 @@ func Weights(dst, q []float32, s *kvcache.Store) {
 // (§V-B). scores is scratch of length ≥ s.Len().
 func TopTrue(q []float32, s *kvcache.Store, b int, scores []float32) []int {
 	n := s.Len()
-	if cap(scores) < n {
-		scores = make([]float32, n)
-	}
-	scores = scores[:n]
+	scores = growF32(scores, n)
 	Weights(scores, q, s)
 	return tensor.TopK(scores, b)
 }

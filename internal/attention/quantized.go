@@ -1,0 +1,114 @@
+package attention
+
+import "clusterkv/internal/quant"
+
+// Dequantize-free int8 decode kernels (DESIGN.md §12). A KIVI tensor stores
+// v[i][j] = zero[g] + code[i][j]·scale[g]; substituting that into the score
+// and weighted-sum reductions and folding the affine terms moves every
+// per-element dequantization out of the inner loop:
+//
+//	keys (per-channel groups, g = j):
+//	  <q, k_i> = Σ_j q[j]·(z[j] + c[i][j]·s[j])
+//	           = qz + Σ_j (q[j]·s[j])·c[i][j]     qz, q·s computed once/page
+//
+//	values (per-token groups, g = i):
+//	  out[j] += Σ_i w[i]·(z[i] + c[i][j]·s[i])
+//	          = Σ_i (w[i]·s[i])·c[i][j]  +  (Σ_i w[i]·z[i])   added once
+//
+// The inner loops are pure uint8→float32 multiply-accumulate over the code
+// bytes — 4× denser than float rows, so a page's scores cost one cache line
+// of codes per 64 channels. Results are NOT bit-identical to the float path;
+// the contract is the bounded-ULP property locked by the conformance suite:
+// each kernel equals dequantize-then-float-GEMV up to reassociating the
+// per-group affine term, a bounded perturbation property-tested over random
+// shapes (TestQuantKernelULPBound).
+
+// dotQuantK computes dst[i] = inv · <q, row (from+i) of qk> for
+// i in [0, len(dst)) directly over per-channel quantized codes.
+// qs is scratch of length qk.D for the folded per-channel coefficients.
+func dotQuantK(dst, q []float32, qk *quant.Tensor, from int, inv float32, qs []float32) {
+	d := qk.D
+	if len(q) != d || len(qs) != d {
+		panic("attention: dotQuantK dimension mismatch")
+	}
+	var qz float32
+	for j, v := range q {
+		qs[j] = v * qk.Scales[j]
+		qz += v * qk.Zeros[j]
+	}
+	m := len(dst)
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		base := (from + i) * d
+		c0 := qk.Codes[base : base+d]
+		c1 := qk.Codes[base+d : base+2*d]
+		c2 := qk.Codes[base+2*d : base+3*d]
+		c3 := qk.Codes[base+3*d : base+4*d]
+		var s0, s1, s2, s3 float32
+		for j, w := range qs {
+			s0 += w * float32(c0[j])
+			s1 += w * float32(c1[j])
+			s2 += w * float32(c2[j])
+			s3 += w * float32(c3[j])
+		}
+		dst[i] = (qz + s0) * inv
+		dst[i+1] = (qz + s1) * inv
+		dst[i+2] = (qz + s2) * inv
+		dst[i+3] = (qz + s3) * inv
+	}
+	for ; i < m; i++ {
+		base := (from + i) * d
+		row := qk.Codes[base : base+d]
+		var s float32
+		for j, w := range qs {
+			s += w * float32(row[j])
+		}
+		dst[i] = (qz + s) * inv
+	}
+}
+
+// addQuantV accumulates out[j] += Σ_i w[i] · (row (from+i) of qv)[j] directly
+// over per-token quantized codes. ws is scratch of length len(w) for the
+// folded per-token coefficients.
+func addQuantV(out, w []float32, qv *quant.Tensor, from int, ws []float32) {
+	d := qv.D
+	if len(out) != d || len(ws) != len(w) {
+		panic("attention: addQuantV dimension mismatch")
+	}
+	var wz float32
+	for i, wi := range w {
+		ws[i] = wi * qv.Scales[from+i]
+		wz += wi * qv.Zeros[from+i]
+	}
+	m := len(w)
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		w0, w1, w2, w3 := ws[i], ws[i+1], ws[i+2], ws[i+3]
+		base := (from + i) * d
+		c0 := qv.Codes[base : base+d]
+		c1 := qv.Codes[base+d : base+2*d]
+		c2 := qv.Codes[base+2*d : base+3*d]
+		c3 := qv.Codes[base+3*d : base+4*d]
+		for j := range out {
+			v := out[j]
+			v += w0 * float32(c0[j])
+			v += w1 * float32(c1[j])
+			v += w2 * float32(c2[j])
+			v += w3 * float32(c3[j])
+			out[j] = v
+		}
+	}
+	for ; i < m; i++ {
+		wi := ws[i]
+		base := (from + i) * d
+		row := qv.Codes[base : base+d]
+		for j := range out {
+			out[j] += wi * float32(row[j])
+		}
+	}
+	if wz != 0 {
+		for j := range out {
+			out[j] += wz
+		}
+	}
+}

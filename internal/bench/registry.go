@@ -39,6 +39,9 @@ func Registry() map[string]Runner {
 		"radix": func(o Options) []*Report {
 			return []*Report{RunRadix(o)}
 		},
+		"kernels": func(o Options) []*Report {
+			return []*Report{RunKernels(o)}
+		},
 	}
 }
 
@@ -48,6 +51,6 @@ func RegistryOrder() []string {
 		"fig3a", "fig3b", "fig9", "tab1", "fig10",
 		"fig11a", "fig11b", "fig12", "fig13a", "fig13b",
 		"cache", "overlap", "ablations", "parprefill", "pagedkv", "fleet",
-		"radix",
+		"radix", "kernels",
 	}
 }

@@ -108,6 +108,10 @@ type headState struct {
 	ledger *kvcache.Ledger
 	// scratch for cluster scores.
 	scores []float32
+	// idx is the reusable selection buffer returned by Select; valid until
+	// the next Select on this (layer, head), which matches the attention
+	// kernels' consume-within-the-step usage.
+	idx []int
 	// lastQ is a copy of the most recent query routed to this head, the
 	// prediction input for layer-ahead prefetch (the next layer's clusters
 	// are scored against the current layer's query).
@@ -324,8 +328,16 @@ func (c *ClusterKV) Select(layer, head int, q []float32, s *kvcache.Store, budge
 
 	clusters, positions := book.SelectTopClusters(scores, clusterBudget)
 
-	// Assemble I_T: sinks, selected cluster members, decode tail.
-	out := make([]int, 0, mandatory+len(positions))
+	// Assemble I_T: sinks, selected cluster members, decode tail. The buffer
+	// is per-head scratch: grown geometrically, reused across steps.
+	if want := mandatory + len(positions); cap(st.idx) < want {
+		c := 2 * cap(st.idx)
+		if c < want {
+			c = want
+		}
+		st.idx = make([]int, 0, c)
+	}
+	out := st.idx[:0]
 	for i := 0; i < sinks; i++ {
 		out = append(out, i)
 	}
@@ -333,6 +345,7 @@ func (c *ClusterKV) Select(layer, head int, q []float32, s *kvcache.Store, budge
 	for i := st.pendingFrom; i < n; i++ {
 		out = append(out, i)
 	}
+	st.idx = out
 	sort.Ints(out)
 
 	// Cache accounting (§IV-D): a selected cluster present in the cache is a

@@ -116,8 +116,14 @@ func (a *Arena) alloc(headDim int) *page {
 	a.mu.Unlock()
 
 	if pg == nil {
+		// Keys and values live in one packed slab (keys first), so a page is a
+		// single allocation and a decode step's K-score sweep followed by the
+		// V-weighted-sum touches one contiguous 2·pageTokens·headDim region per
+		// plane instead of two unrelated heap objects (DESIGN.md §12). The
+		// three-index subslice caps keys so an overrun can never bleed into vals.
 		n := a.pageTokens * headDim
-		pg = &page{keys: make([]float32, n), vals: make([]float32, n)}
+		slab := make([]float32, 2*n)
+		pg = &page{keys: slab[:n:n], vals: slab[n:]}
 	}
 	pg.refs.Store(1)
 	if acct != nil {
@@ -221,9 +227,11 @@ func (pg *page) restore(pageTokens, headDim int) {
 	if !pg.quantized.Load() {
 		return
 	}
+	// Same packed single-slab layout as Arena.alloc.
 	n := pageTokens * headDim
-	keys := make([]float32, n)
-	vals := make([]float32, n)
+	slab := make([]float32, 2*n)
+	keys := slab[:n:n]
+	vals := slab[n:]
 	pg.qk.Dequantize(keys[:pg.qk.N*pg.qk.D])
 	pg.qv.Dequantize(vals[:pg.qv.N*pg.qv.D])
 	pg.keys, pg.vals = keys, vals

@@ -1,0 +1,85 @@
+package kvcache
+
+import "testing"
+
+// Compute-quantization watermark semantics (DESIGN.md §12): QuantizeFullPages
+// offers each full page exactly once, never touches the tail, skips pages
+// shared at offer time (which then stay float32 for life), and Truncate
+// rewinds the watermark so re-grown positions are offered again.
+
+func TestComputeQuantFullPagesAndTail(t *testing.T) {
+	a := NewArena(8, nil)
+	s := NewStoreIn(a, 4)
+	s.SetComputeQuant(8)
+	fillN(s, 0, 20) // 2 full pages + 4-row tail
+	s.QuantizeFullPages()
+	if !s.PageQuantized(0) || !s.PageQuantized(1) {
+		t.Fatal("full pages not quantized")
+	}
+	if s.PageQuantized(2) {
+		t.Fatal("tail page quantized while partially filled")
+	}
+	if qk, qv := s.PageQuant(0); qk == nil || qv == nil {
+		t.Fatal("PageQuant nil for a quantized page")
+	}
+	if qk, qv := s.PageQuant(2); qk != nil || qv != nil {
+		t.Fatal("PageQuant non-nil for the float tail")
+	}
+	// Growing the tail into a full page re-arms exactly the new page.
+	fillN(s, 20, 4)
+	s.QuantizeFullPages()
+	if !s.PageQuantized(2) {
+		t.Fatal("newly filled page not offered")
+	}
+	// Restoring reads still decode correct-magnitude rows (lossy, so compare
+	// against the quantization error bound rather than exactly).
+	k := s.Key(5)
+	if diff := k[1] - float32(5*10+1); diff > 0.5 || diff < -0.5 {
+		t.Fatalf("restored row diverged beyond quant error: %v", k[1])
+	}
+}
+
+func TestComputeQuantSkipsSharedPagesForever(t *testing.T) {
+	a := NewArena(8, nil)
+	s := NewStoreIn(a, 4)
+	fillN(s, 0, 16)
+	f := s.Fork() // both full pages now shared
+	s.SetComputeQuant(8)
+	s.QuantizeFullPages()
+	if s.PageQuantized(0) || s.PageQuantized(1) {
+		t.Fatal("shared page quantized under fork")
+	}
+	f.Free()
+	// The offer already happened; dropping the fork must not re-offer.
+	s.QuantizeFullPages()
+	if s.PageQuantized(0) || s.PageQuantized(1) {
+		t.Fatal("page re-offered after watermark passed it")
+	}
+	// New growth past the watermark is still offered.
+	fillN(s, 16, 8)
+	s.QuantizeFullPages()
+	if !s.PageQuantized(2) {
+		t.Fatal("post-fork growth not quantized")
+	}
+}
+
+func TestComputeQuantTruncateRewindsWatermark(t *testing.T) {
+	a := NewArena(8, nil)
+	s := NewStoreIn(a, 4)
+	s.SetComputeQuant(4)
+	fillN(s, 0, 16)
+	s.QuantizeFullPages()
+	s.Truncate(8) // drops page 1; watermark must rewind to 1
+	fillN(s, 8, 8)
+	s.QuantizeFullPages()
+	if !s.PageQuantized(1) {
+		t.Fatal("regrown page not re-offered after Truncate")
+	}
+	// Free resets everything for store reuse.
+	s.Free()
+	fillN(s, 0, 8)
+	s.QuantizeFullPages()
+	if !s.PageQuantized(0) {
+		t.Fatal("watermark not reset by Free")
+	}
+}

@@ -17,7 +17,11 @@
 // covered by those N tokens — never the divergent tail's ancestors.
 package kvcache
 
-import "fmt"
+import (
+	"fmt"
+
+	"clusterkv/internal/quant"
+)
 
 // Store holds the K and V vectors of a single (layer, head) pair as a page
 // table over its arena. Vectors are appended in token order; index == token
@@ -34,6 +38,17 @@ type Store struct {
 	// valid until Truncate rewinds flatN.
 	flatK, flatV []float32
 	flatN        int
+
+	// computeBits, when non-zero, promotes KIVI quantization from storage
+	// format to *compute* format (DESIGN.md §12): QuantizeFullPages converts
+	// full pages in place and attention kernels read the codes directly via
+	// PageQuant instead of restoring floats. Zero (the default) keeps the
+	// exact bit-identical decode path. qmark is the page index below which
+	// pages have already been offered for compute quantization; pages skipped
+	// there (shared with a fork at the time) stay float32 permanently — the
+	// kernels dispatch per page, so mixed stores are fine.
+	computeBits int
+	qmark       int
 }
 
 // NewStore returns an empty store for vectors of the given head dimension,
@@ -341,6 +356,9 @@ func (s *Store) Truncate(n int) {
 	if s.flatN > n {
 		s.flatN = n
 	}
+	if full := n / P; s.qmark > full {
+		s.qmark = full
+	}
 }
 
 // Free releases every page reference held by the store, returning pages whose
@@ -353,6 +371,7 @@ func (s *Store) Free() {
 	s.pages = s.pages[:0]
 	s.n = 0
 	s.flatN = 0
+	s.qmark = 0
 }
 
 // QuantizePage converts page p to a KIVI-style quantized form at the given
@@ -384,3 +403,58 @@ func (s *Store) QuantizePage(p, bits int) {
 // PageQuantized reports whether page p currently holds only the quantized
 // form.
 func (s *Store) PageQuantized(p int) bool { return s.pages[p].quantized.Load() }
+
+// SetComputeQuant opts the store into the quantized *decode compute* path:
+// after each decode-step append the model calls QuantizeFullPages, and the
+// attention kernels compute scores and weighted sums directly over the int8
+// codes (dequantize-free inner loops) for every page holding a quantized
+// form. bits 0 disables (the default, exact path). The quantized path is
+// deterministic per seed but not bit-identical to float32 — it carries the
+// bounded-ULP contract documented in DESIGN.md §12.
+func (s *Store) SetComputeQuant(bits int) {
+	if bits != 0 && (bits < 2 || bits > 8) {
+		panic("kvcache: SetComputeQuant bits must be 0 or 2..8")
+	}
+	s.computeBits = bits
+}
+
+// ComputeQuantBits returns the compute-quantization width (0 = exact path).
+func (s *Store) ComputeQuantBits() int { return s.computeBits }
+
+// QuantizeFullPages converts every not-yet-offered full page to the compute
+// quantized form at the configured width. Each page is offered exactly once
+// (watermarked by qmark): a page shared with a fork or snapshot at offer time
+// is skipped and stays float32 for its lifetime, keeping shared prefixes
+// exact for their other readers. No-op unless SetComputeQuant enabled the
+// path.
+func (s *Store) QuantizeFullPages() {
+	if s.computeBits == 0 {
+		return
+	}
+	full := s.n / s.arena.pageTokens
+	for p := s.qmark; p < full; p++ {
+		s.QuantizePage(p, s.computeBits)
+	}
+	if full > s.qmark {
+		s.qmark = full
+	}
+}
+
+// PageQuant returns page p's quantized tensors (keys per-channel, values
+// per-token) when the page currently holds a quantized form, else (nil, nil).
+// Unlike KeyPage/ValuePage this never restores: it is the read side of the
+// quantized compute path. The returned tensors are immutable snapshots — a
+// concurrent restore builds new float storage and drops the page's pointers,
+// but never mutates the tensors themselves.
+func (s *Store) PageQuant(p int) (qk, qv *quant.Tensor) {
+	pg := s.pages[p]
+	if !pg.quantized.Load() {
+		return nil, nil
+	}
+	pg.muQ.Lock()
+	defer pg.muQ.Unlock()
+	if !pg.quantized.Load() {
+		return nil, nil
+	}
+	return pg.qk, pg.qv
+}

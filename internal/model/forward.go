@@ -142,7 +142,13 @@ type Sequence struct {
 	attnOut []float32
 	ffnGate []float32
 	ffnUp   []float32
-	scores  []float32
+	// attn is the reusable attention scratch (scores + quant fold buffers);
+	// its geometric growth keeps steady-state decode rounds allocation-free.
+	attn attention.Scratch
+	// kvBits, when non-zero, enables the int8 KV decode path: full pages are
+	// compute-quantized after each append and the attention kernels read the
+	// codes directly (bounded-ULP contract, DESIGN.md §12).
+	kvBits int
 }
 
 // NewSequence creates an empty sequence bound to a selection policy.
@@ -198,6 +204,33 @@ func (s *Sequence) Release() {
 // Len returns the number of processed tokens.
 func (s *Sequence) Len() int { return s.pos }
 
+// SetKVQuantDecode opts the sequence into the int8 KV decode path: every
+// store compute-quantizes its full pages (KIVI layout, see internal/quant)
+// and attention reads the codes directly via dequantize-free kernels. bits 0
+// restores the exact path for future pages (already-quantized pages keep
+// their form). Pages shared with a snapshot or fork at quantization time stay
+// float32 — the kernels dispatch per page. Outputs under the quantized path
+// are deterministic per seed but carry a bounded-ULP (not bit-identity)
+// contract.
+func (s *Sequence) SetKVQuantDecode(bits int) {
+	s.kvBits = bits
+	for _, st := range s.stores {
+		st.SetComputeQuant(bits)
+	}
+	if bits > 0 {
+		for _, st := range s.stores {
+			st.QuantizeFullPages()
+		}
+	}
+}
+
+// KVQuantRuns returns the page-run counts the attention kernels dispatched
+// to the int8 and float32 paths while compute quantization was enabled —
+// the coverage signal behind the serve engine's quantized-decode metrics.
+func (s *Sequence) KVQuantRuns() (quantRuns, floatRuns int64) {
+	return s.attn.QuantRuns, s.attn.FloatRuns
+}
+
 // Selector returns the attached selection policy (may be nil).
 func (s *Sequence) Selector() attention.Selector { return s.sel }
 
@@ -210,7 +243,7 @@ type prefillScratch struct {
 	normed  []float32
 	ffnGate []float32
 	ffnUp   []float32
-	scores  []float32
+	attn    attention.Scratch
 }
 
 func newPrefillScratch(cfg Config) *prefillScratch {
@@ -320,7 +353,7 @@ func (s *Sequence) Prefill(tokens []int, wantLogits []float32) []float32 {
 				for hh := 0; hh < cfg.NHeads; hh++ {
 					kv := hh / group
 					st := s.Store(l, kv)
-					sc.scores = causalFull(sc.headOut, q[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], st, s.pos+i+1, sc.scores)
+					sc.attn.FullN(sc.headOut, q[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], st, s.pos+i+1)
 					copy(sc.attnOut[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], sc.headOut)
 				}
 				addProjected(h, lw.wo, sc.attnOut, sc.normed)
@@ -333,12 +366,18 @@ func (s *Sequence) Prefill(tokens []int, wantLogits []float32) []float32 {
 	}
 	s.pos += n
 
-	// Notify the selector that prefill KV is complete.
+	// Notify the selector that prefill KV is complete (metadata is built over
+	// exact float rows; compute quantization, if enabled, happens after).
 	if s.sel != nil {
 		for l := 0; l < cfg.NLayers; l++ {
 			for kv := 0; kv < cfg.NKVHeads; kv++ {
 				s.sel.OnPrefill(l, kv, s.Store(l, kv))
 			}
+		}
+	}
+	if s.kvBits > 0 {
+		for _, st := range s.stores {
+			st.QuantizeFullPages()
 		}
 	}
 
@@ -348,57 +387,13 @@ func (s *Sequence) Prefill(tokens []int, wantLogits []float32) []float32 {
 			for i := lo; i < hi; i++ {
 				h := hs[i*cfg.DModel : (i+1)*cfg.DModel]
 				rmsNorm(normed, h, w.finalNorm)
-				tensor.MatVec(wantLogits[i*cfg.VocabSize:(i+1)*cfg.VocabSize], w.embed, normed)
+				w.embedP.MatVecOn(nil, wantLogits[i*cfg.VocabSize:(i+1)*cfg.VocabSize], normed)
 			}
 		})
 	}
 	last := make([]float32, cfg.DModel)
 	copy(last, hs[(n-1)*cfg.DModel:])
 	return last
-}
-
-// causalFull computes full attention of q over the first n tokens of st,
-// reading the store's pages directly (position order, identical arithmetic to
-// a contiguous layout). Page reads are immutable-row accesses, so parallel
-// prefill positions may run causalFull over the same store concurrently.
-func causalFull(out, q []float32, st *kvcache.Store, n int, scratch []float32) []float32 {
-	d := st.HeadDim()
-	if cap(scratch) < n {
-		scratch = make([]float32, n)
-	}
-	scores := scratch[:n]
-	inv := float32(1 / math.Sqrt(float64(d)))
-	i := 0
-	for p := 0; i < n; p++ {
-		keys := st.KeyPage(p)
-		for r := 0; r < len(keys) && i < n; r += d {
-			row := keys[r : r+d]
-			var dot float32
-			for j := range q {
-				dot += q[j] * row[j]
-			}
-			scores[i] = dot * inv
-			i++
-		}
-	}
-	tensor.Softmax(scores)
-	tensor.Fill(out, 0)
-	i = 0
-	for p := 0; i < n; p++ {
-		vals := st.ValuePage(p)
-		for r := 0; r < len(vals) && i < n; r += d {
-			wgt := scores[i]
-			i++
-			if wgt == 0 {
-				continue
-			}
-			row := vals[r : r+d]
-			for j := range out {
-				out[j] += wgt * row[j]
-			}
-		}
-	}
-	return scratch
 }
 
 // shapeKey applies the attention-sink offset to keys of sink positions.
@@ -487,26 +482,29 @@ func (s *Sequence) DecodeInto(token int, logits []float32) {
 			if s.sel != nil {
 				s.sel.OnAppend(l, kv, st)
 			}
+			if s.kvBits > 0 {
+				// After the selector saw the exact rows: convert any page the
+				// append just completed to the compute-quantized form.
+				st.QuantizeFullPages()
+			}
 		}
 		for hh := 0; hh < cfg.NHeads; hh++ {
 			kv := hh / group
 			st := s.Store(l, kv)
 			qh := s.qbuf[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
 			if s.Probe != nil {
-				if cap(s.scores) < st.Len() {
-					s.scores = make([]float32, st.Len())
-				}
-				attention.Weights(s.scores[:st.Len()], qh, st)
-				s.Probe(l, hh, s.scores[:st.Len()])
+				ws := s.attn.Scores(st.Len())
+				attention.Weights(ws, qh, st)
+				s.Probe(l, hh, ws)
 			}
 			var idx []int
 			if s.sel != nil {
 				idx = s.sel.Select(l, kv, qh, st, s.budget)
 			}
 			if idx == nil {
-				s.scores = attention.Full(s.headOut, qh, st, s.scores)
+				s.attn.Full(s.headOut, qh, st)
 			} else {
-				s.scores = attention.Sparse(s.headOut, qh, st, idx, s.scores)
+				s.attn.Sparse(s.headOut, qh, st, idx)
 			}
 			copy(s.attnOut[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], s.headOut)
 		}
@@ -522,5 +520,5 @@ func (s *Sequence) DecodeInto(token int, logits []float32) {
 	s.pos++
 
 	rmsNorm(s.normed, s.hidden, w.finalNorm)
-	tensor.MatVec(logits, w.embed, s.normed)
+	w.embedP.MatVec(logits, s.normed)
 }

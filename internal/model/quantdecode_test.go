@@ -1,0 +1,74 @@
+package model
+
+import "testing"
+
+func argmax32(xs []float32) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TestQuantDecodeDeterministicPerSeed locks the int8 decode contract: the
+// quantized path is NOT bit-identical to float32, but two sequences with the
+// same weights, prompt and bit width must emit identical token streams — the
+// quantization grid is a pure function of page contents.
+func TestQuantDecodeDeterministicPerSeed(t *testing.T) {
+	m := New(tinyConfig())
+	doc := tinyDoc(100)
+
+	run := func(bits int) ([]int, int64) {
+		seq := m.NewSequence(nil, 0)
+		defer seq.Release()
+		seq.SetKVQuantDecode(bits)
+		logits := seq.Prefill(doc, nil)
+		toks := make([]int, 0, 32)
+		tok := argmax32(logits)
+		for i := 0; i < 32; i++ {
+			toks = append(toks, tok)
+			tok = argmax32(seq.Decode(tok))
+		}
+		qr, _ := seq.KVQuantRuns()
+		return toks, qr
+	}
+
+	a, qa := run(8)
+	b, qb := run(8)
+	if qa == 0 || qb == 0 {
+		t.Fatalf("int8 kernels never ran (runs %d, %d)", qa, qb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("quantized decode diverged at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+
+	// The exact path must be untouched by the machinery existing: bits=0
+	// sequences report zero quant runs.
+	exact, q0 := run(0)
+	if q0 != 0 {
+		t.Fatalf("exact path hit int8 kernels %d times", q0)
+	}
+	if len(exact) != len(a) {
+		t.Fatal("length mismatch")
+	}
+}
+
+// TestQuantDecodeRunsSplit locks the per-page dispatch accounting: with a
+// prompt longer than one page, a quantized sequence reports both int8 page
+// runs (full pages) and f32 runs (the growing tail).
+func TestQuantDecodeRunsSplit(t *testing.T) {
+	m := New(tinyConfig())
+	seq := m.NewSequence(nil, 0)
+	defer seq.Release()
+	seq.SetKVQuantDecode(8)
+	seq.Prefill(tinyDoc(130), nil) // 2 full 64-token pages + tail
+	seq.Decode(1)
+	qr, fr := seq.KVQuantRuns()
+	if qr == 0 || fr == 0 {
+		t.Fatalf("expected mixed dispatch, got quant=%d float=%d", qr, fr)
+	}
+}

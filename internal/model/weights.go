@@ -22,7 +22,10 @@ type layerWeights struct {
 
 // weights holds all model parameters.
 type weights struct {
-	embed     *tensor.Mat // VocabSize × DModel, tied with the LM head
+	embed *tensor.Mat // VocabSize × DModel, tied with the LM head
+	// embedP is embed pre-packed into 4-row panels for the decode LM-head
+	// GEMV (tensor.PackedMat) — the largest single GEMV of a decode step.
+	embedP    *tensor.PackedMat
 	layers    []layerWeights
 	finalNorm []float32
 	// sinkDir is the attention-sink shaping direction in key space
@@ -63,6 +66,7 @@ func buildWeights(cfg Config) *weights {
 		}
 		tensor.Normalize(row)
 	}
+	w.embedP = tensor.Pack(w.embed)
 
 	// --- Layers ------------------------------------------------------------
 	qkDim := cfg.NHeads * cfg.HeadDim

@@ -81,6 +81,32 @@ func NewPool(width int) *Pool {
 	return p
 }
 
+// blocks returns the number of partition blocks For would use for (n, grain).
+func (p *Pool) blocks(n, grain int) int {
+	if grain < 1 {
+		grain = 1
+	}
+	nb := n / grain // floor: every even-split block then holds >= grain indices
+	if nb < 1 {
+		nb = 1
+	}
+	if max := p.Width() * blocksPerWorker; nb > max {
+		nb = max
+	}
+	return nb
+}
+
+// RunsInline reports whether For(n, grain, fn) would execute fn entirely on
+// the calling goroutine (no job dispatch). Hot single-token kernels branch on
+// it to call their loop body directly instead of constructing a closure —
+// For's parallel path stores fn in a job, which forces every closure passed
+// to it onto the heap, and that per-call allocation is what the steady-state
+// zero-alloc decode contract (DESIGN.md §12) forbids. Must mirror For's
+// dispatch branch exactly.
+func (p *Pool) RunsInline(n, grain int) bool {
+	return p == nil || p.width <= 1 || n <= 0 || p.blocks(n, grain) <= 1
+}
+
 // Width returns the pool's maximum concurrency (>= 1).
 func (p *Pool) Width() int {
 	if p == nil {
@@ -116,16 +142,7 @@ func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if grain < 1 {
-		grain = 1
-	}
-	nb := n / grain // floor: every even-split block then holds >= grain indices
-	if nb < 1 {
-		nb = 1
-	}
-	if max := p.Width() * blocksPerWorker; nb > max {
-		nb = max
-	}
+	nb := p.blocks(n, grain)
 	if p == nil || p.width <= 1 || nb <= 1 {
 		fn(0, n)
 		return

@@ -88,6 +88,16 @@ type Config struct {
 	// legacy reservation policy predates page-granular sharing and has no
 	// notion of partial reuse.
 	FlatPrefixCache bool
+	// DecodeKVBits, when 2..8, turns on the quantized KV decode path
+	// (DESIGN.md §12): published prefix-cache snapshots are converted once to
+	// the KIVI compute format (keys per-channel, values per-token) while
+	// exclusively held, and every sequence compute-quantizes its own full
+	// pages as it prefills/decodes, with attention running dequantize-free
+	// int8 kernels over quantized pages. Pages shared at conversion time
+	// (radix ancestors) stay float32; kernels dispatch per page. Token
+	// streams stay deterministic per seed but are NOT bit-identical to the
+	// exact path — the bounded-ULP contract. 0 (default) keeps exact decode.
+	DecodeKVBits int
 	// Seed drives sampling and any tie-breaking, making runs reproducible.
 	Seed uint64
 	// testPrefixHash, when set (tests only), replaces the flat cache's bucket
@@ -240,6 +250,9 @@ func NewEngine(m *model.Model, cfg Config) *Engine {
 	}
 	if cfg.PageTokens <= 0 {
 		cfg.PageTokens = kvcache.DefaultPageTokens
+	}
+	if cfg.DecodeKVBits != 0 && (cfg.DecodeKVBits < 2 || cfg.DecodeKVBits > 8) {
+		panic("serve: DecodeKVBits must be 0 or 2..8")
 	}
 	mc := m.Config()
 	planes := int64(mc.NLayers * mc.NKVHeads)
@@ -1211,12 +1224,20 @@ func (e *Engine) prefillStep(t *task) {
 				t.prefillN += len(t.entry.tokens)
 			}
 		}
+		if e.cfg.DecodeKVBits > 0 && t.builder && t.entry.snap != nil {
+			// Publish-time conversion: the builder released its references
+			// above, so the entry's fresh pages are exclusively held here and
+			// convert; pages still shared with a radix ancestor stay float32.
+			t.entry.snap.QuantizeCompute(e.cfg.DecodeKVBits)
+		}
 		t.seq = e.m.NewSequenceFrom(t.entry.snap, sel, r.Budget)
+		t.seq.SetKVQuantDecode(e.cfg.DecodeKVBits)
 		suffix := r.Prompt[r.SharedPrefixLen:]
 		t.seq.Prefill(suffix, nil)
 		t.prefillN += len(suffix)
 	} else {
 		t.seq = e.m.NewSequenceIn(e.arena, sel, r.Budget)
+		t.seq.SetKVQuantDecode(e.cfg.DecodeKVBits)
 		t.seq.Prefill(r.Prompt, nil)
 		t.prefillN += len(r.Prompt)
 	}
@@ -1293,6 +1314,11 @@ func (e *Engine) retire(t *task, round int64, err error) {
 	// headroom appears.
 	t.spilled = 0
 	if t.seq != nil {
+		if e.cfg.DecodeKVBits > 0 {
+			qr, fr := t.seq.KVQuantRuns()
+			e.mx.quantRuns.Add(qr)
+			e.mx.floatRuns.Add(fr)
+		}
 		t.seq.Release()
 		t.seq = nil
 	}

@@ -85,6 +85,11 @@ type Metrics struct {
 	KVDeviceUsed, KVDevicePeak             int64
 	KVHostUsed, KVHostPeak, KVHostCapacity int64
 	KVSpilled                              int64
+	// Quantized-decode telemetry (Config.DecodeKVBits): page runs the
+	// attention kernels of retired sequences dispatched to the int8 path vs
+	// the float32 fallback (pages shared at conversion time, decode tails).
+	// Both stay zero on the exact path.
+	KVQuantRuns, KVFloatRuns int64
 	// Transfer is the async transfer runtime's overlap telemetry: modeled
 	// channel-busy time vs the portion compute actually waited out, plus
 	// layer-ahead prefetch page counters.
@@ -117,6 +122,10 @@ func (m Metrics) String() string {
 	if m.KVHostCapacity > 0 {
 		fmt.Fprintf(&b, "kv tiers: device peak %d/%d, host peak %d/%d, %d slots spilled\n",
 			m.KVDevicePeak, m.KVCapacity, m.KVHostPeak, m.KVHostCapacity, m.KVSpilled)
+	}
+	if total := m.KVQuantRuns + m.KVFloatRuns; total > 0 {
+		fmt.Fprintf(&b, "kv quant: %d int8 page runs, %d f32 page runs (%.0f%% quantized)\n",
+			m.KVQuantRuns, m.KVFloatRuns, float64(m.KVQuantRuns)/float64(total)*100)
 	}
 	if m.Transfer.Transfers > 0 {
 		fmt.Fprintf(&b, "transfers: %d moves, %d pages, busy %.1fms, exposed %.1fms, hidden %.1fms (%.0f%%)\n",
@@ -158,6 +167,8 @@ func (m Metrics) FillRegistry(reg *obs.Registry, labels ...obs.Label) {
 	cnt("clusterkv_serve_prefill_tokens_total", m.PrefillTokens)
 	cnt("clusterkv_serve_rounds_total", m.Rounds)
 	cnt("clusterkv_serve_kv_spilled_slots_total", m.KVSpilled)
+	cnt("clusterkv_serve_kv_quant_runs_total", m.KVQuantRuns)
+	cnt("clusterkv_serve_kv_f32_runs_total", m.KVFloatRuns)
 	gauge("clusterkv_serve_kv_used_slots", float64(m.KVUsed))
 	gauge("clusterkv_serve_kv_peak_slots", float64(m.KVPeak))
 	gauge("clusterkv_serve_kv_capacity_slots", float64(m.KVCapacity))
@@ -195,6 +206,9 @@ type engineMetrics struct {
 	submitted     atomic.Uint64
 	prefixEvicted atomic.Uint64
 	spilled       atomic.Int64
+	// quantized-decode run counters, harvested from each sequence's
+	// attention scratch at retirement (step workers run concurrently).
+	quantRuns, floatRuns atomic.Int64
 	// curQueued/curActive are the last round barrier's scheduler gauges,
 	// exposed to routers through Engine.Occupancy (zeroed while idle).
 	curQueued, curActive atomic.Int64
@@ -329,6 +343,8 @@ func (e *Engine) Metrics() Metrics {
 		KVHostPeak:         e.kvUnits(x.hostPeak),
 		KVHostCapacity:     e.kvUnits(e.acct.HostCapacity()),
 		KVSpilled:          e.kvUnits(x.spilled.Load()),
+		KVQuantRuns:        x.quantRuns.Load(),
+		KVFloatRuns:        x.floatRuns.Load(),
 		Transfer:           e.rt.Stats(),
 		TTFT:               summarize(&x.ttft),
 		TokenLatency:       summarize(&x.tokenLat),

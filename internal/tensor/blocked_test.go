@@ -1,0 +1,101 @@
+package tensor_test
+
+// Blocked/packed kernel conformance (DESIGN.md §12): the register-blocked
+// GEMV variants must be bit-identical to the naive one-row-at-a-time serial
+// loops at every shape (blocking interleaves rows, never reassociates within
+// one) and at any pool width.
+
+import (
+	"math"
+	"testing"
+
+	"clusterkv/internal/parallel"
+	"clusterkv/internal/rng"
+	"clusterkv/internal/tensor"
+)
+
+func randSlice(r *rng.RNG, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = r.NormFloat32()
+	}
+	return out
+}
+
+func TestDotRowsBitIdentical(t *testing.T) {
+	for _, shape := range []struct{ m, d int }{
+		{1, 1}, {3, 5}, {4, 16}, {5, 16}, {7, 3}, {64, 64}, {63, 17}, {100, 8},
+	} {
+		r := rng.New(uint64(shape.m*1000 + shape.d))
+		x := randSlice(r, shape.d)
+		rows := randSlice(r, shape.m*shape.d)
+		scale := 0.5 + r.Float32()
+		got := make([]float32, shape.m)
+		tensor.DotRows(got, x, rows, shape.d, scale)
+		for i := 0; i < shape.m; i++ {
+			var s float32
+			for j := 0; j < shape.d; j++ {
+				s += x[j] * rows[i*shape.d+j]
+			}
+			want := s * scale
+			if math.Float32bits(got[i]) != math.Float32bits(want) {
+				t.Fatalf("m=%d d=%d: row %d diverges: %v vs %v", shape.m, shape.d, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestAddScaledRowsBitIdentical(t *testing.T) {
+	for _, shape := range []struct{ m, d int }{
+		{1, 4}, {4, 8}, {5, 8}, {9, 16}, {64, 64}, {130, 7},
+	} {
+		r := rng.New(uint64(shape.m*977 + shape.d))
+		rows := randSlice(r, shape.m*shape.d)
+		w := randSlice(r, shape.m)
+		// Exact zeros appear in real weights (softmax underflow); the
+		// reference skips them, the blocked kernel must match bit-for-bit.
+		for i := 0; i < shape.m; i += 3 {
+			w[i] = 0
+		}
+		got := randSlice(rng.New(7), shape.d)
+		want := append([]float32(nil), got...)
+		tensor.AddScaledRows(got, w, rows, shape.d)
+		for i := 0; i < shape.m; i++ {
+			if w[i] == 0 {
+				continue
+			}
+			for j := 0; j < shape.d; j++ {
+				want[j] += w[i] * rows[i*shape.d+j]
+			}
+		}
+		for j := range got {
+			if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
+				t.Fatalf("m=%d d=%d: channel %d diverges: %v vs %v", shape.m, shape.d, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestPackedMatVecBitIdentical(t *testing.T) {
+	pools := map[string]*parallel.Pool{"serial": nil, "w4": parallel.NewPool(4)}
+	for _, shape := range []struct{ rows, cols int }{
+		{1, 8}, {3, 8}, {4, 8}, {5, 8}, {512, 64}, {127, 33},
+	} {
+		r := rng.New(uint64(shape.rows*31 + shape.cols))
+		m := tensor.NewMat(shape.rows, shape.cols)
+		copy(m.Data, randSlice(r, shape.rows*shape.cols))
+		pm := tensor.Pack(m)
+		x := randSlice(r, shape.cols)
+		want := make([]float32, shape.rows)
+		tensor.MatVecOn(nil, want, m, x)
+		for name, p := range pools {
+			got := make([]float32, shape.rows)
+			pm.MatVecOn(p, got, x)
+			for i := range got {
+				if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("%dx%d %s: row %d diverges: %v vs %v", shape.rows, shape.cols, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -65,16 +65,24 @@ func MatVecOn(p *parallel.Pool, dst []float32, m *Mat, x []float32) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		panic("tensor: MatVec dimension mismatch")
 	}
-	p.For(m.Rows, kernelGrain(m.Cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := m.Data[i*m.Cols : (i+1)*m.Cols]
-			var s float32
-			for j, v := range row {
-				s += v * x[j]
-			}
-			dst[i] = s
+	// Closure-free serial fast path: decode-round GEMVs must not allocate
+	// (DESIGN.md §12), and a closure passed to For is forced onto the heap.
+	if p.RunsInline(m.Rows, kernelGrain(m.Cols)) {
+		matVecBand(dst, m, x, 0, m.Rows)
+		return
+	}
+	p.For(m.Rows, kernelGrain(m.Cols), func(lo, hi int) { matVecBand(dst, m, x, lo, hi) })
+}
+
+func matVecBand(dst []float32, m *Mat, x []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float32
+		for j, v := range row {
+			s += v * x[j]
 		}
-	})
+		dst[i] = s
+	}
 }
 
 // MatTVec computes dst = mᵀ · x (x has Rows entries, dst has Cols entries).
@@ -90,20 +98,27 @@ func MatTVecOn(p *parallel.Pool, dst []float32, m *Mat, x []float32) {
 	if len(x) != m.Rows || len(dst) != m.Cols {
 		panic("tensor: MatTVec dimension mismatch")
 	}
-	p.For(m.Cols, kernelGrain(m.Rows), func(lo, hi int) {
-		band := dst[lo:hi]
-		Fill(band, 0)
-		for i := 0; i < m.Rows; i++ {
-			xi := x[i]
-			if xi == 0 {
-				continue
-			}
-			row := m.Data[i*m.Cols+lo : i*m.Cols+hi]
-			for j, v := range row {
-				band[j] += xi * v
-			}
+	// Closure-free serial fast path (see MatVecOn).
+	if p.RunsInline(m.Cols, kernelGrain(m.Rows)) {
+		matTVecBand(dst, m, x, 0, m.Cols)
+		return
+	}
+	p.For(m.Cols, kernelGrain(m.Rows), func(lo, hi int) { matTVecBand(dst, m, x, lo, hi) })
+}
+
+func matTVecBand(dst []float32, m *Mat, x []float32, lo, hi int) {
+	band := dst[lo:hi]
+	Fill(band, 0)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
 		}
-	})
+		row := m.Data[i*m.Cols+lo : i*m.Cols+hi]
+		for j, v := range row {
+			band[j] += xi * v
+		}
+	}
 }
 
 // MatMul computes c = a · b. Shapes: a is M×K, b is K×N, c is M×N.
