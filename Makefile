@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-seq test-xfer-race test-fleet test-trace test-kernels vet race bench bench-smoke bench-json serve clean
+.PHONY: build test test-seq test-xfer-race test-fleet test-trace test-kernels test-batch vet race bench bench-smoke bench-json serve clean
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,7 @@ test-trace:
 # metrics + options + seed + commit) for the experiments with headline
 # numbers worth diffing across commits. Quick scale — not a measurement run.
 bench-json:
-	$(GO) run ./cmd/clusterkv-bench -exp fleet,pagedkv,overlap,radix,kernels -json bench-out
+	$(GO) run ./cmd/clusterkv-bench -exp fleet,pagedkv,overlap,radix,kernels,decodebatch -json bench-out
 
 # Kernel conformance lane: the blocked/packed/fused/quantized decode kernel
 # suites at GOMAXPROCS=1 and at GOMAXPROCS=2 with the race detector, locking
@@ -56,6 +56,15 @@ bench-json:
 test-kernels:
 	GOMAXPROCS=1 $(GO) test -count=1 -run 'Blocked|DotRows|AddScaledRows|PackedMat|Fused|Quant|ComputeQuant|DecodeSteady' ./internal/tensor/ ./internal/attention/ ./internal/kvcache/ ./internal/model/
 	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Blocked|DotRows|AddScaledRows|PackedMat|Fused|Quant|ComputeQuant|DecodeSteady' ./internal/tensor/ ./internal/attention/ ./internal/kvcache/ ./internal/model/
+
+# Batched-decode conformance lane: the cross-stream batched GEMM kernels and
+# the BatchDecoder/engine bit-identity suites at GOMAXPROCS=1 and at
+# GOMAXPROCS=2 with the race detector, locking that batched decode equals
+# per-stream decode token-for-token at any cohort size and pool width
+# (DESIGN.md §13).
+test-batch:
+	GOMAXPROCS=1 $(GO) test -count=1 -run 'MatTMat|MatMulRows|BatchDecode' ./internal/tensor/ ./internal/model/ ./internal/serve/
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'MatTMat|MatMulRows|BatchDecode' ./internal/tensor/ ./internal/model/ ./internal/serve/
 
 # Benchmark smoke lane: compile and run every benchmark in the module once,
 # so perf-critical paths (serve engine, paged arena, parallel kernels) cannot

@@ -286,6 +286,7 @@ func BenchmarkServeSerialBaseline(b *testing.B) {
 	lc.NRequests = 8
 	lc.MaxNewTokens = 8
 	load := clusterkv.NewLoad(lc)
+	logits := make([]float32, clusterkv.DefaultModelConfig().VocabSize)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, q := range load {
@@ -293,7 +294,8 @@ func BenchmarkServeSerialBaseline(b *testing.B) {
 			seq.Prefill(q.Prompt, nil)
 			tok := q.Prompt[len(q.Prompt)-1]
 			for j := 0; j < q.MaxNewTokens; j++ {
-				tok = argmax(seq.Decode(tok))
+				seq.DecodeInto(tok, logits)
+				tok = argmax(logits)
 			}
 		}
 	}
@@ -364,16 +366,53 @@ func BenchmarkDecodeSteadyAllocs(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchDecodeSteadyAllocs extends the steady-state allocation
+// contract to the batched cross-stream decode path: once the decoder's
+// gather/scratch matrices have grown to cohort size and the post-prefill
+// page boundaries are behind it, a batched round over a 4-stream cohort
+// allocates nothing. Prompt lengths are page-aligned so the next
+// page-boundary allocation falls outside the measured window.
+func BenchmarkBatchDecodeSteadyAllocs(b *testing.B) {
+	clusterkv.SetIntraOpWorkers(1)
+	defer clusterkv.SetIntraOpWorkers(runtime.GOMAXPROCS(0))
+	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
+	const streams = 4
+	bd := m.NewBatchDecoder()
+	seqs := make([]*clusterkv.Sequence, streams)
+	toks := make([]int, streams)
+	lgs := make([][]float32, streams)
+	for i := 0; i < streams; i++ {
+		doc := clusterkv.Doc(clusterkv.DefaultDocConfig(), 512+64*i)
+		seqs[i] = m.NewSequence(nil, 0)
+		seqs[i].Prefill(doc, nil)
+		toks[i] = doc[len(doc)-1]
+		lgs[i] = make([]float32, m.Config().VocabSize)
+	}
+	for i := 0; i < 4; i++ {
+		bd.DecodeInto(seqs, toks, lgs)
+	}
+	allocs := testing.AllocsPerRun(40, func() { bd.DecodeInto(seqs, toks, lgs) })
+	b.ReportMetric(allocs, "allocs/round")
+	if allocs > 0.5 {
+		b.Fatalf("steady-state batched decode allocates %.1f objects/round, want 0", allocs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd.DecodeInto(seqs, toks, lgs)
+	}
+}
+
 // BenchmarkTransformerDecode measures one decode step with ClusterKV active.
 func BenchmarkTransformerDecode(b *testing.B) {
 	m := clusterkv.NewModel(clusterkv.DefaultModelConfig())
 	doc := clusterkv.Doc(clusterkv.DefaultDocConfig(), 1024)
 	seq := m.NewSequence(clusterkv.New(clusterkv.DefaultConfig()), 256)
 	seq.Prefill(doc, nil)
+	logits := make([]float32, clusterkv.DefaultModelConfig().VocabSize)
 	b.ResetTimer()
 	tok := doc[0]
 	for i := 0; i < b.N; i++ {
-		logits := seq.Decode(tok)
+		seq.DecodeInto(tok, logits)
 		tok = int(logits[0]) & 63 // cheap pseudo-token to vary input
 		if tok < 0 {
 			tok = 0

@@ -18,7 +18,8 @@
 //	sel := clusterkv.New(clusterkv.DefaultConfig())
 //	seq := m.NewSequence(sel, 1024) // 1024-token KV budget
 //	seq.Prefill(prompt, nil)
-//	logits := seq.Decode(nextToken)
+//	logits := make([]float32, m.Config().VocabSize)
+//	seq.DecodeInto(nextToken, logits)
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for paper-vs-measured
 // results. The examples/ directory contains runnable walkthroughs.
@@ -133,6 +134,14 @@ type Sequence = model.Sequence
 // re-running prefill (Sequence.Snapshot / Model.NewSequenceFrom) — the
 // substrate of the serving engine's prefix cache.
 type Snapshot = model.Snapshot
+
+// BatchDecoder steps many decoding sequences in lock-step, amortizing every
+// weight matrix over the cohort with one blocked GEMM per matrix per layer
+// instead of one GEMV per stream. Logits are bit-identical to stepping each
+// sequence alone through Sequence.DecodeInto at any cohort size and pool
+// width (DESIGN.md §13); build one per serving loop with
+// Model.NewBatchDecoder.
+type BatchDecoder = model.BatchDecoder
 
 // DefaultModelConfig returns the small evaluation model (4×4×16, d_model 64).
 func DefaultModelConfig() ModelConfig { return model.DefaultConfig() }

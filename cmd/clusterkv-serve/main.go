@@ -69,6 +69,7 @@ func main() {
 		syncXfer  = flag.Bool("synctransfers", false, "force synchronous KV transfers (no layer-ahead prefetch overlap)")
 		worstCase = flag.Bool("worstcase", false, "revert to worst-case up-front KV reservations (pre-paged admission policy)")
 		decodeKVQ = flag.Int("decodekvbits", 0, "int8-style quantized KV decode bit width (2..8, 0 = exact float path); quantized runs are deterministic per seed but not token-identical to serial, so -verify is disabled")
+		batchDec  = flag.Bool("batchdecode", true, "run each round's decode streams as one lock-step batched cohort (one GEMM per weight matrix per round); bit-identical to per-stream decode")
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		method    = flag.String("method", "all", "methods to serve (clusterkv, quest, fullkv, all)")
@@ -217,6 +218,7 @@ func main() {
 		cfg.SyncTransfers = *syncXfer
 		cfg.WorstCaseAdmission = *worstCase
 		cfg.DecodeKVBits = *decodeKVQ
+		cfg.BatchDecode = *batchDec
 		cfg.NoPrefixCache = *noPrefix
 		cfg.FlatPrefixCache = *flatCache
 		cfg.Seed = *seed
@@ -392,6 +394,7 @@ func buildRequests(load []clusterkv.QARequest, spec methodSpec, budget int) []cl
 // plain Sequence API, full prefill per request, greedy decode.
 func runSerial(m *clusterkv.Model, reqs []clusterkv.ServeRequest) [][]int {
 	out := make([][]int, len(reqs))
+	logits := make([]float32, m.Config().VocabSize)
 	for i, req := range reqs {
 		var sel clusterkv.Selector
 		if req.NewSelector != nil {
@@ -402,7 +405,8 @@ func runSerial(m *clusterkv.Model, reqs []clusterkv.ServeRequest) [][]int {
 		tok := req.Prompt[len(req.Prompt)-1]
 		toks := make([]int, 0, req.MaxNewTokens)
 		for j := 0; j < req.MaxNewTokens; j++ {
-			tok = argmax(seq.Decode(tok))
+			seq.DecodeInto(tok, logits)
+			tok = argmax(logits)
 			toks = append(toks, tok)
 		}
 		out[i] = toks

@@ -26,9 +26,10 @@ func main() {
 		seq := m.NewSequence(sel, budget)
 		seq.Prefill(prompt, nil)
 		tok := prompt[len(prompt)-1]
+		logits := make([]float32, m.Config().VocabSize)
 		out := make([]int, 0, 32)
 		for i := 0; i < 32; i++ {
-			logits := seq.Decode(tok)
+			seq.DecodeInto(tok, logits)
 			tok = argmax(logits)
 			out = append(out, tok)
 		}

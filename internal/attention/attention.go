@@ -201,6 +201,14 @@ func (sc *Scratch) weights(dst, q []float32, s *kvcache.Store) {
 	}
 }
 
+// Weights writes the scaled raw attention logits q·k_i/√d for every token i
+// into dst (length must be ≥ s.Len()), reusing the scratch's fold buffer for
+// quantized pages. Probing decoders on a hot path should use this instead of
+// the package-level Weights, which allocates a fresh Scratch per call.
+func (sc *Scratch) Weights(dst, q []float32, s *kvcache.Store) {
+	sc.weights(dst[:s.Len()], q, s)
+}
+
 // Full computes out = softmax(q·Kᵀ/√d)·V over all n tokens currently in the
 // store. scores is scratch space of length ≥ n (pass nil to allocate).
 // It returns the scratch slice for reuse. Callers on a decode hot path should

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"clusterkv/internal/model"
+	"clusterkv/internal/workload"
+)
+
+// batchModelConfig returns the decode-batching benchmark shape: ~28 MB of
+// weights (8 layers, d_model 256, 4k vocabulary), big enough that a single
+// decode stream is weight-bandwidth bound — every GEMV streams the full
+// matrix through the cache hierarchy for one row of work. That is the regime
+// cross-stream batching targets: one blocked GEMM per matrix amortizes the
+// weight traffic over the whole cohort. The default evaluation model
+// (d_model 64, ~200 KB of weights) is cache-resident and would understate
+// the effect.
+func batchModelConfig() model.Config {
+	cfg := model.DefaultConfig()
+	cfg.VocabSize = 8192
+	cfg.DModel = 256
+	cfg.NLayers = 8
+	cfg.NHeads = 8
+	cfg.NKVHeads = 8
+	cfg.HeadDim = 32
+	cfg.FFNDim = 512
+	return cfg
+}
+
+// RunDecodeBatch measures aggregate decode throughput at 1/2/4/8 concurrent
+// streams, per-stream (one Sequence.DecodeInto per stream per round) versus
+// batched (one BatchDecoder.DecodeInto per round), and asserts in-bench that
+// the two paths emit bit-identical greedy token streams — the determinism
+// contract the serving engine relies on to flip Config.BatchDecode freely.
+// Also reported: heap allocations per batched round in steady state (the
+// zero-alloc decode contract, DESIGN.md §12, extended to cohorts).
+func RunDecodeBatch(o Options) *Report {
+	o = o.withDefaults()
+	cfg := batchModelConfig()
+	m := model.New(cfg)
+	rep := &Report{
+		ID:      "decodebatch",
+		Title:   "cross-stream batched decode: one GEMM per weight matrix per round",
+		Headers: []string{"streams", "per-stream tok/s", "batched tok/s", "speedup", "batched allocs/round"},
+	}
+
+	dc := workload.DefaultDocConfig()
+	dc.VocabSize = cfg.VocabSize
+	dc.NTopics = cfg.NTopics
+
+	// Timing is interleaved min-of-trials: solo and batched chunks alternate
+	// within each cohort size, and each variant's per-round cost is the
+	// fastest trial. On shared/virtualized CPUs a single long window picks up
+	// steal-time and frequency drift that dwarfs the effect being measured;
+	// alternating short chunks exposes both variants to the same noise and
+	// the min discards it.
+	const warm, trials, chunk = 2, 5, 8
+	const steps = trials * chunk
+	argmax := func(v []float32) int {
+		best := 0
+		for i, x := range v {
+			if x > v[best] {
+				best = i
+			}
+		}
+		return best
+	}
+
+	// cohort builds S fresh sequences with page-aligned prompt lengths, so
+	// the one legitimate page-boundary allocation per stream lands in the
+	// warm-up rounds rather than the measured window.
+	cohort := func(S int) ([]*model.Sequence, []int) {
+		seqs := make([]*model.Sequence, S)
+		toks := make([]int, S)
+		for i := 0; i < S; i++ {
+			d := dc
+			d.Seed = o.Seed + uint64(100+i)
+			doc := workload.Doc(d, 256+64*i)
+			s := m.NewSequence(nil, 0)
+			s.Prefill(doc, nil)
+			seqs[i] = s
+			toks[i] = doc[len(doc)-1]
+		}
+		return seqs, toks
+	}
+	release := func(seqs []*model.Sequence) {
+		for _, s := range seqs {
+			s.Release()
+		}
+	}
+
+	var speed8 float64
+	for _, S := range []int{1, 2, 4, 8} {
+		soloSeqs, soloTok := cohort(S)
+		batSeqs, batTok := cohort(S)
+		lgs := make([][]float32, S)
+		soloLg := make([]float32, cfg.VocabSize)
+		for i := range lgs {
+			lgs[i] = make([]float32, cfg.VocabSize)
+		}
+		soloStream := make([][]int, S)
+		batStream := make([][]int, S)
+		for i := 0; i < S; i++ {
+			soloStream[i] = make([]int, 0, warm+steps)
+			batStream[i] = make([]int, 0, warm+steps)
+		}
+		bd := m.NewBatchDecoder()
+
+		soloRound := func() {
+			for i, s := range soloSeqs {
+				s.DecodeInto(soloTok[i], soloLg)
+				soloTok[i] = argmax(soloLg)
+				soloStream[i] = append(soloStream[i], soloTok[i])
+			}
+		}
+		batRound := func() {
+			bd.DecodeInto(batSeqs, batTok, lgs)
+			for i := range batSeqs {
+				batTok[i] = argmax(lgs[i])
+				batStream[i] = append(batStream[i], batTok[i])
+			}
+		}
+		for step := 0; step < warm; step++ {
+			soloRound()
+			batRound()
+		}
+
+		soloBest := math.MaxFloat64
+		batBest := math.MaxFloat64
+		var mallocs uint64
+		var ms0, ms1 runtime.MemStats
+		for trial := 0; trial < trials; trial++ {
+			runtime.GC()
+			start := time.Now()
+			for r := 0; r < chunk; r++ {
+				soloRound()
+			}
+			if el := time.Since(start).Seconds(); el < soloBest {
+				soloBest = el
+			}
+			runtime.ReadMemStats(&ms0)
+			start = time.Now()
+			for r := 0; r < chunk; r++ {
+				batRound()
+			}
+			el := time.Since(start).Seconds()
+			runtime.ReadMemStats(&ms1)
+			if el < batBest {
+				batBest = el
+			}
+			mallocs += ms1.Mallocs - ms0.Mallocs
+		}
+
+		// The bit-identity assertion: batching may never change a token.
+		for i := 0; i < S; i++ {
+			for j := range soloStream[i] {
+				if soloStream[i][j] != batStream[i][j] {
+					panic(fmt.Sprintf(
+						"decodebatch: batched decode diverged from per-stream at %d streams, stream %d, step %d: token %d != %d",
+						S, i, j, batStream[i][j], soloStream[i][j]))
+				}
+			}
+		}
+		release(soloSeqs)
+		release(batSeqs)
+
+		soloTokS := float64(S*chunk) / soloBest
+		batTokS := float64(S*chunk) / batBest
+		speedup := batTokS / soloTokS
+		allocsPerRound := float64(mallocs) / steps
+		if S == 8 {
+			speed8 = speedup
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", S),
+			fmt.Sprintf("%.1f", soloTokS),
+			fmt.Sprintf("%.1f", batTokS),
+			f2(speedup),
+			fmt.Sprintf("%.1f", allocsPerRound),
+		})
+		rep.AddMetric(fmt.Sprintf("decodebatch.solo_tok_s_%d", S), soloTokS, "tok/s")
+		rep.AddMetric(fmt.Sprintf("decodebatch.batched_tok_s_%d", S), batTokS, "tok/s")
+		rep.AddMetric(fmt.Sprintf("decodebatch.speedup_%d", S), speedup, "x")
+		rep.AddMetric(fmt.Sprintf("decodebatch.allocs_per_round_%d", S), allocsPerRound, "objects")
+	}
+	rep.AddMetric("decodebatch.identical", 1, "bool")
+
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("model: %d layers, d_model %d, vocab %d (~%d MB of weights) — large enough that single-stream decode is weight-bandwidth bound",
+			cfg.NLayers, cfg.DModel, cfg.VocabSize, weightMB(cfg)),
+		fmt.Sprintf("per cohort: 256..%d-token prompts, full attention, %d warm rounds, then %d alternating solo/batched chunks of %d rounds each; tok/s is aggregate across streams from the fastest chunk (min-of-trials discards scheduler/steal-time noise)", 256+64*7, warm, trials, chunk),
+		"both paths emit bit-identical greedy token streams (asserted in-bench; conformance-locked in internal/model)",
+		fmt.Sprintf("speedup at 8 streams: %.2fx — one blocked GEMM per matrix streams each weight panel once per round instead of once per stream", speed8),
+	)
+	return rep
+}
+
+// weightMB estimates the parameter footprint of a shape in MB (f32, tied
+// embedding counted twice: once row-major for lookup, once packed for the
+// LM head).
+func weightMB(cfg model.Config) int {
+	perLayer := 4*cfg.DModel*cfg.NHeads*cfg.HeadDim + 3*cfg.DModel*cfg.FFNDim
+	total := cfg.NLayers*perLayer + 2*cfg.VocabSize*cfg.DModel
+	return total * 4 / (1 << 20)
+}

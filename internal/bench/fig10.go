@@ -219,8 +219,9 @@ func PerplexityCurveModel(m *model.Model, stream []int, sel attention.Selector, 
 
 	out := make([]float64, 0, len(checkpoints))
 	ci := 0
+	lg := make([]float32, vocab)
 	for t := window; t < len(stream)-1; t++ {
-		lg := seq.Decode(stream[t])
+		seq.DecodeInto(stream[t], lg)
 		nll += metrics.NLLFromLogits(lg, stream[t+1])
 		n++
 		for ci < len(checkpoints) && n >= checkpoints[ci]-1 {

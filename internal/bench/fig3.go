@@ -34,8 +34,9 @@ func runProbe(opt Options, layer, head, steps int) *probeRun {
 		}
 	}
 	tok := doc[len(doc)-1]
+	logits := make([]float32, cfg.VocabSize)
 	for s := 0; s < steps; s++ {
-		logits := seq.Decode(tok)
+		seq.DecodeInto(tok, logits)
 		tok = tensor.ArgMax(logits)
 	}
 	st := seq.Store(layer, head/m.Config().GroupSize())

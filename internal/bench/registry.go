@@ -42,6 +42,9 @@ func Registry() map[string]Runner {
 		"kernels": func(o Options) []*Report {
 			return []*Report{RunKernels(o)}
 		},
+		"decodebatch": func(o Options) []*Report {
+			return []*Report{RunDecodeBatch(o)}
+		},
 	}
 }
 
@@ -51,6 +54,6 @@ func RegistryOrder() []string {
 		"fig3a", "fig3b", "fig9", "tab1", "fig10",
 		"fig11a", "fig11b", "fig12", "fig13a", "fig13b",
 		"cache", "overlap", "ablations", "parprefill", "pagedkv", "fleet",
-		"radix", "kernels",
+		"radix", "kernels", "decodebatch",
 	}
 }

@@ -1,0 +1,224 @@
+package model
+
+import (
+	"clusterkv/internal/parallel"
+	"clusterkv/internal/tensor"
+)
+
+// BatchDecoder runs one decode step for a cohort of sequences in lock-step
+// layer phases (DESIGN.md §13): the cohort's hidden states form an [S×DModel]
+// activation matrix and every weight-matrix product of the layer — QKV, the
+// output projection, the SwiGLU block and the LM head — is issued as ONE
+// batched GEMM across the cohort instead of S per-stream GEMVs, so each
+// weight matrix streams from memory once per round. Attention, rope, KV
+// append, selection and quantization stay per-stream in between the GEMM
+// phases, because KV state is per-sequence; that phase fans the cohort out
+// over the shared pool, each stream on its own attention scratch.
+//
+// Determinism contract: every batched kernel keeps the per-row reduction
+// order of the GEMV it replaces, and the per-stream phase runs identical
+// code to Sequence.DecodeInto, so the tokens a cohort produces are
+// bit-identical to stepping each sequence alone — at any cohort size and
+// any pool width (locked by the conformance suites).
+//
+// A BatchDecoder holds reusable scratch sized to the largest cohort seen; it
+// is not safe for concurrent use. Sequences may enter and leave the cohort
+// freely between calls (the serving engine's continuous batching does).
+type BatchDecoder struct {
+	m    *Model
+	maxS int
+	// Cohort-wide scratch matrices; Rows is set to the live cohort size each
+	// call, Data stays at maxS capacity so steady-state calls allocate nothing.
+	x, normed tensor.Mat // S×DModel
+	q         tensor.Mat // S×(NHeads·HeadDim)
+	k, v      tensor.Mat // S×(NKVHeads·HeadDim)
+	attnOut   tensor.Mat // S×(NHeads·HeadDim)
+	gate, up  tensor.Mat // S×FFNDim
+}
+
+// NewBatchDecoder returns an empty batch decoder for the model; scratch grows
+// on first use to the cohort size.
+func (m *Model) NewBatchDecoder() *BatchDecoder {
+	return &BatchDecoder{m: m}
+}
+
+// grow sizes every scratch matrix to an S-row cohort, reusing backing
+// storage when capacity allows.
+func (bd *BatchDecoder) grow(S int) {
+	cfg := bd.m.cfg
+	size := func(mt *tensor.Mat, cols int) {
+		mt.Rows, mt.Cols = S, cols
+		if need := S * cols; cap(mt.Data) < need {
+			mt.Data = make([]float32, need)
+		} else {
+			mt.Data = mt.Data[:need]
+		}
+	}
+	size(&bd.x, cfg.DModel)
+	size(&bd.normed, cfg.DModel)
+	size(&bd.q, cfg.NHeads*cfg.HeadDim)
+	size(&bd.k, cfg.NKVHeads*cfg.HeadDim)
+	size(&bd.v, cfg.NKVHeads*cfg.HeadDim)
+	size(&bd.attnOut, cfg.NHeads*cfg.HeadDim)
+	size(&bd.gate, cfg.FFNDim)
+	size(&bd.up, cfg.FFNDim)
+	if S > bd.maxS {
+		bd.maxS = S
+	}
+}
+
+// DecodeInto advances every sequence in the cohort by one token: seqs[i]
+// processes tokens[i] and its next-token logits land in logits[i] (each of
+// length VocabSize). All sequences must belong to this decoder's model; each
+// logits[i] is bit-identical to what seqs[i].DecodeInto(tokens[i], ...)
+// alone would produce. A panic (e.g. arena exhaustion mid-append) may leave
+// cohort members at different positions; callers treat the whole cohort as
+// failed, as the serving engine does.
+func (bd *BatchDecoder) DecodeInto(seqs []*Sequence, tokens []int, logits [][]float32) {
+	S := len(seqs)
+	if S == 0 {
+		return
+	}
+	if len(tokens) != S || len(logits) != S {
+		panic("model: BatchDecoder.DecodeInto cohort slice lengths differ")
+	}
+	cfg := bd.m.cfg
+	w := bd.m.w
+	maxPos := 0
+	for i, s := range seqs {
+		if s.m != bd.m {
+			panic("model: BatchDecoder.DecodeInto sequence from another model")
+		}
+		if len(logits[i]) != cfg.VocabSize {
+			panic("model: BatchDecoder.DecodeInto logits buffer has wrong size")
+		}
+		if s.pos > maxPos {
+			maxPos = s.pos
+		}
+	}
+	bd.grow(S)
+	pool := parallel.Default()
+	// Grow the rope table up front so the fanned-out attention phase only
+	// reads it (same discipline as Prefill).
+	bd.m.ropeAt(maxPos)
+
+	for i := range seqs {
+		copy(bd.x.Row(i), w.embed.Row(tokens[i]))
+	}
+	for l := 0; l < cfg.NLayers; l++ {
+		lw := &w.layers[l]
+		for _, s := range seqs {
+			if s.la != nil {
+				s.la.BeforeLayer(l)
+			}
+		}
+		for i := range seqs {
+			rmsNorm(bd.normed.Row(i), bd.x.Row(i), lw.attnNorm)
+		}
+		tensor.MatTMatOn(pool, &bd.q, lw.wq, &bd.normed)
+		tensor.MatTMatOn(pool, &bd.k, lw.wk, &bd.normed)
+		tensor.MatTMatOn(pool, &bd.v, lw.wv, &bd.normed)
+		// Per-stream rope, sink shaping, KV append, selector notification and
+		// page quantization, serial in cohort order: appends mutate the
+		// per-sequence stores and must keep store order = position order.
+		for i, s := range seqs {
+			pos := s.pos
+			q := bd.q.Row(i)
+			for hh := 0; hh < cfg.NHeads; hh++ {
+				qh := q[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
+				s.m.applyRope(qh, pos)
+				s.m.shapeQuery(qh)
+			}
+			k, v := bd.k.Row(i), bd.v.Row(i)
+			for kv := 0; kv < cfg.NKVHeads; kv++ {
+				kh := k[kv*cfg.HeadDim : (kv+1)*cfg.HeadDim]
+				s.m.applyRope(kh, pos)
+				s.m.shapeKey(kh, pos)
+				st := s.Store(l, kv)
+				st.Append(kh, v[kv*cfg.HeadDim:(kv+1)*cfg.HeadDim])
+				if s.sel != nil {
+					s.sel.OnAppend(l, kv, st)
+				}
+				if s.kvBits > 0 {
+					st.QuantizeFullPages()
+				}
+			}
+		}
+		// Attention phase, one stream per parallel index: each stream selects
+		// and attends over its own KV on its own scratch (QuantRuns/FloatRuns
+		// telemetry stays per-sequence), writing a disjoint attnOut row.
+		if pool.RunsInline(S, 1) {
+			bd.attnBand(seqs, l, 0, S)
+		} else {
+			pool.For(S, 1, func(lo, hi int) { bd.attnBand(seqs, l, lo, hi) })
+		}
+		tensor.MatTMatOn(pool, &bd.normed, lw.wo, &bd.attnOut)
+		for i := range seqs {
+			tensor.Add(bd.x.Row(i), bd.x.Row(i), bd.normed.Row(i))
+		}
+		// SwiGLU block, batched: same phase order as ffnBlock per stream.
+		for i := range seqs {
+			rmsNorm(bd.normed.Row(i), bd.x.Row(i), lw.ffnNorm)
+		}
+		tensor.MatTMatOn(pool, &bd.gate, lw.w1, &bd.normed)
+		tensor.MatTMatOn(pool, &bd.up, lw.w3, &bd.normed)
+		for i := range seqs {
+			g, u := bd.gate.Row(i), bd.up.Row(i)
+			for j := range g {
+				g[j] = silu(g[j]) * u[j]
+			}
+		}
+		tensor.MatTMatOn(pool, &bd.normed, lw.w2, &bd.gate)
+		for i := range seqs {
+			tensor.Add(bd.x.Row(i), bd.x.Row(i), bd.normed.Row(i))
+		}
+		for _, s := range seqs {
+			if s.la != nil {
+				s.la.AfterLayer(l)
+			}
+		}
+	}
+	for _, s := range seqs {
+		if s.sel != nil {
+			s.sel.EndStep()
+		}
+		s.pos++
+	}
+	for i := range seqs {
+		rmsNorm(bd.normed.Row(i), bd.x.Row(i), w.finalNorm)
+	}
+	w.embedP.MatMulRowsOn(pool, logits, &bd.normed)
+}
+
+// attnBand runs the per-stream attention phase of layer l for cohort members
+// [lo, hi): probe, selection, full/sparse attention — identical code to the
+// per-stream decode path, on each sequence's own scratch.
+func (bd *BatchDecoder) attnBand(seqs []*Sequence, l, lo, hi int) {
+	cfg := bd.m.cfg
+	group := cfg.GroupSize()
+	for i := lo; i < hi; i++ {
+		s := seqs[i]
+		q := bd.q.Row(i)
+		out := bd.attnOut.Row(i)
+		for hh := 0; hh < cfg.NHeads; hh++ {
+			kv := hh / group
+			st := s.Store(l, kv)
+			qh := q[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
+			if s.Probe != nil {
+				ws := s.attn.Scores(st.Len())
+				s.attn.Weights(ws, qh, st)
+				s.Probe(l, hh, ws)
+			}
+			var idx []int
+			if s.sel != nil {
+				idx = s.sel.Select(l, kv, qh, st, s.budget)
+			}
+			if idx == nil {
+				s.attn.Full(s.headOut, qh, st)
+			} else {
+				s.attn.Sparse(s.headOut, qh, st, idx)
+			}
+			copy(out[hh*cfg.HeadDim:(hh+1)*cfg.HeadDim], s.headOut)
+		}
+	}
+}

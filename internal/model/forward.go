@@ -494,7 +494,7 @@ func (s *Sequence) DecodeInto(token int, logits []float32) {
 			qh := s.qbuf[hh*cfg.HeadDim : (hh+1)*cfg.HeadDim]
 			if s.Probe != nil {
 				ws := s.attn.Scores(st.Len())
-				attention.Weights(ws, qh, st)
+				s.attn.Weights(ws, qh, st)
 				s.Probe(l, hh, ws)
 			}
 			var idx []int

@@ -150,6 +150,9 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		case EvPrefixEvict:
 			out = append(out, instant(ev, laneSched, "prefix-evict",
 				map[string]any{"released_slots": ev.N}))
+		case EvBatchRound:
+			out = append(out, instant(ev, laneSched, "batch-round",
+				map[string]any{"cohort": ev.N, "prefills": ev.Aux}))
 		case EvPageSpill:
 			out = append(out, instant(ev, laneTiering, "spill",
 				map[string]any{"slots": ev.N}))

@@ -72,6 +72,10 @@ const (
 	EvFleetPlace
 	EvFleetReroute
 	EvFleetShed
+	// EvBatchRound records a round whose decode streams ran as one batched
+	// cohort (Config.BatchDecode): N = cohort size (decoding streams),
+	// Aux = prefill steps running per-stream alongside it.
+	EvBatchRound
 )
 
 // String returns the event type's taxonomy name.
@@ -113,6 +117,8 @@ func (t EventType) String() string {
 		return "fleet-reroute"
 	case EvFleetShed:
 		return "fleet-shed"
+	case EvBatchRound:
+		return "batch-round"
 	}
 	return "unknown"
 }

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+
+	"clusterkv/internal/obs"
+	"clusterkv/internal/workload"
+)
+
+// Serve-level lock for Config.BatchDecode: flipping cross-stream batched
+// decode on must not change a single token, round number, or counter of a
+// full engine run — the batched GEMM path is bit-identical to per-stream
+// GEMVs (internal/model conformance suite), so the only thing batching may
+// change is wall-clock speed. These tests compare full run fingerprints with
+// the flag off (the zero Config default) and on (the DefaultConfig default)
+// across schedules, loads, and KV quantization.
+
+func batchOn(c *Config) { c.BatchDecode = true }
+
+// TestBatchDecodeMatchesPerStream is the headline on/off equality: the qa
+// load, serial and parallel, batched vs per-stream, full-fingerprint equal.
+func TestBatchDecodeMatchesPerStream(t *testing.T) {
+	reqs := loadRequests(t)
+	cases := []struct {
+		name           string
+		procs, workers int
+	}{
+		{"serial", 1, 1},
+		{"gomaxprocs=2", 2, 2},
+		{"parallel", runtime.NumCPU(), runtime.NumCPU()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			off := runEngineAt(t, tc.procs, tc.workers, reqs)
+			on := runEngineAt(t, tc.procs, tc.workers, reqs, batchOn)
+			if d := off.diff(on); d != "" {
+				t.Fatalf("batched run differs from per-stream: %s", d)
+			}
+		})
+	}
+}
+
+// TestBatchDecodeMatchesPerStreamQuantized repeats the on/off equality with
+// int8 KV decode, so the batched path's per-stream quantized append and
+// dequantizing attention are covered end to end.
+func TestBatchDecodeMatchesPerStreamQuantized(t *testing.T) {
+	reqs := loadRequests(t)
+	int8KV := func(c *Config) { c.DecodeKVBits = 8 }
+	for _, procs := range []int{1, 2} {
+		off := runEngineAt(t, procs, procs, reqs, int8KV)
+		on := runEngineAt(t, procs, procs, reqs, int8KV, batchOn)
+		if d := off.diff(on); d != "" {
+			t.Fatalf("gomaxprocs=%d: batched int8-KV run differs from per-stream: %s", procs, d)
+		}
+	}
+}
+
+// TestBatchDecodeMatchesPerStreamNested runs the on/off equality over the
+// nested multi-turn conversation load, where cohort members carry radix
+// partially-reused CoW pages and admissions/retirements reshape the cohort
+// every few rounds.
+func TestBatchDecodeMatchesPerStreamNested(t *testing.T) {
+	cc := workload.DefaultConversationConfig()
+	cc.Doc.VocabSize = 128
+	cc.Doc.NTopics = 8
+	cc.Doc.Seed = 53
+	reqs := nestedRequests(workload.ConversationLoad(cc))
+	for i := range reqs {
+		reqs[i].Temperature = 0.8
+	}
+	off := runEngineAt(t, 1, 1, reqs)
+	if off.prefixPartial == 0 {
+		t.Fatalf("nested conversation load produced no partial radix hits")
+	}
+	for _, procs := range []int{1, 2} {
+		on := runEngineAt(t, procs, procs, reqs, batchOn)
+		if d := off.diff(on); d != "" {
+			t.Fatalf("gomaxprocs=%d: batched nested-load run differs from per-stream: %s", procs, d)
+		}
+	}
+}
+
+// TestBatchDecodeTracedAndCounted locks the observability contract for the
+// batched path: a traced batched run fingerprints identically to an untraced
+// one, the trace carries EvBatchRound events whose cohort sizes sum to the
+// batched-streams counter, and the engine metrics report the batched/solo
+// split.
+func TestBatchDecodeTracedAndCounted(t *testing.T) {
+	reqs := loadRequests(t)
+	base := runEngineAt(t, 2, 2, reqs, batchOn)
+
+	tracer := obs.NewTracer(0)
+	traced := runEngineAt(t, 2, 2, reqs, batchOn,
+		func(c *Config) { c.Trace = tracer.Recorder(0) })
+	if d := base.diff(traced); d != "" {
+		t.Fatalf("traced batched run differs from untraced: %s", d)
+	}
+
+	var batchRounds, batchedStreams int64
+	for _, ev := range tracer.Events() {
+		if ev.Type == obs.EvBatchRound {
+			batchRounds++
+			batchedStreams += ev.N
+			if ev.N < 2 {
+				t.Fatalf("EvBatchRound with cohort %d; batching requires >= 2", ev.N)
+			}
+		}
+	}
+	if batchRounds == 0 {
+		t.Fatalf("MaxBatch=4 load with %d requests produced no batched rounds", len(reqs))
+	}
+
+	// Re-run once more with direct engine access to cross-check the metrics
+	// against an equally configured traced run.
+	eng := NewEngine(testModel(), Config{
+		Workers: 1, MaxBatch: 4, KVBudget: 2048, Seed: 7, BatchDecode: true,
+	})
+	eng.Run(reqs)
+	m := eng.Metrics()
+	eng.Close()
+	if m.BatchRounds != batchRounds {
+		t.Fatalf("metrics report %d batch rounds, trace saw %d", m.BatchRounds, batchRounds)
+	}
+	if m.DecodeStreamsBatched != batchedStreams {
+		t.Fatalf("metrics report %d batched streams, trace saw %d", m.DecodeStreamsBatched, batchedStreams)
+	}
+	if int64(m.CohortSize.N) != batchRounds {
+		t.Fatalf("cohort histogram count %d, want %d", m.CohortSize.N, batchRounds)
+	}
+	if m.CohortSize.Max > 4 {
+		t.Fatalf("cohort max %v exceeds MaxBatch=4", m.CohortSize.Max)
+	}
+}

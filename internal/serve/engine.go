@@ -88,6 +88,17 @@ type Config struct {
 	// legacy reservation policy predates page-granular sharing and has no
 	// notion of partial reuse.
 	FlatPrefixCache bool
+	// BatchDecode batches decode compute across a round's streams
+	// (DESIGN.md §13): a round whose active set contains two or more
+	// decoding sequences runs them as one lock-step cohort through
+	// model.BatchDecoder — one GEMM per weight matrix per layer across the
+	// cohort instead of per-stream GEMVs — while prefill steps and
+	// single-decoder rounds keep the per-stream path. Tokens are
+	// bit-identical to per-stream execution at any cohort size and pool
+	// width (conformance- and determinism-locked), so this is purely a
+	// throughput knob. DefaultConfig enables it; the zero Config keeps the
+	// task-parallel per-stream rounds.
+	BatchDecode bool
 	// DecodeKVBits, when 2..8, turns on the quantized KV decode path
 	// (DESIGN.md §12): published prefix-cache snapshots are converted once to
 	// the KIVI compute format (keys per-channel, values per-token) while
@@ -116,11 +127,12 @@ type Config struct {
 // DefaultConfig returns the default engine configuration.
 func DefaultConfig() Config {
 	return Config{
-		Workers:  runtime.GOMAXPROCS(0),
-		MaxBatch: 8,
-		QueueCap: 256,
-		KVBudget: 0,
-		Seed:     1,
+		Workers:     runtime.GOMAXPROCS(0),
+		MaxBatch:    8,
+		QueueCap:    256,
+		KVBudget:    0,
+		BatchDecode: true,
+		Seed:        1,
 	}
 }
 
@@ -177,6 +189,16 @@ type Engine struct {
 	// rec is the trace hook (Config.Trace). Scheduler-side events fire only
 	// on the loop goroutine; the transfer runtime carries its own copy.
 	rec obs.Recorder
+
+	// bd is the cross-stream batched decoder (Config.BatchDecode), created
+	// lazily on the loop goroutine; the cohort slices are scheduler-owned
+	// scratch reused across rounds so steady-state rounds allocate nothing.
+	bd        *model.BatchDecoder
+	cohort    []*task
+	prefills  []*task
+	cohortSeq []*model.Sequence
+	cohortTok []int
+	cohortLg  [][]float32
 
 	mx engineMetrics
 }
@@ -651,7 +673,7 @@ func (e *Engine) loop() {
 			continue
 		}
 
-		e.runRound(active)
+		e.runRound(active, round)
 		// Two-tier residency: spill cold pages host-ward before sampling, so
 		// the device gauge reflects the post-round steady state the budget
 		// promises. Spill decisions depend only on round-deterministic state
@@ -921,15 +943,27 @@ func (e *Engine) releaseEntry(p *prefixEntry) {
 	}
 }
 
-// runRound executes one step for every active task: inline when Workers <= 1,
-// otherwise fanned out onto the shared parallel pool and barriered. Steps are
-// independent (each task owns its sequence), so execution order within a
-// round never affects tokens — rounds stay deterministic at any fan-out, and
-// a step's own intra-op kernels (prefill GEMMs, attention) draw from the same
-// pool instead of fighting a second scheduler for cores.
-func (e *Engine) runRound(active []*task) {
+// runRound executes one step for every active task. Under Config.BatchDecode
+// a round with a cohort of ≥2 decoding streams splits into lock-step phases:
+// prefill steps run with the usual task-parallel fan-out, then the decode
+// cohort advances one token through the batched decoder (one GEMM per weight
+// matrix across the cohort, DESIGN.md §13). Otherwise — knob off, or fewer
+// than two decoders this round — every task steps independently via stepAll.
+// Both shapes produce bit-identical tokens: steps are independent (each task
+// owns its sequence) and the batched kernels preserve per-stream reduction
+// order, so execution order within a round never affects outputs.
+func (e *Engine) runRound(active []*task, round int64) {
+	if e.cfg.BatchDecode && e.batchRound(active, round) {
+		return
+	}
+	e.stepAll(active)
+}
+
+// stepAll is the task-parallel round executor: inline when Workers <= 1,
+// otherwise fanned out onto the shared parallel pool and barriered.
+func (e *Engine) stepAll(tasks []*task) {
 	if e.cfg.Workers <= 1 {
-		for _, t := range active {
+		for _, t := range tasks {
 			e.step(t)
 		}
 		return
@@ -939,15 +973,99 @@ func (e *Engine) runRound(active []*task) {
 	// from the decodes sharing its block; actual concurrency is further
 	// bounded by the shared pool width. e.step recovers panics itself, so
 	// fn never panics into the pool.
-	grain := len(active) / e.cfg.Workers
+	grain := len(tasks) / e.cfg.Workers
 	if grain < 1 {
 		grain = 1
 	}
-	parallel.Default().For(len(active), grain, func(lo, hi int) {
+	parallel.Default().For(len(tasks), grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			e.step(active[i])
+			e.step(tasks[i])
 		}
 	})
+}
+
+// batchRound partitions the round into prefill steps and a decode cohort and
+// runs them as phases. It reports false — caller falls back to stepAll —
+// when fewer than two streams are decoding, so single-stream rounds keep the
+// per-stream path with zero overhead. Solo/batched stream counts feed the
+// decode-batch metrics; prefill steps (whose first token rides the prefill
+// round per-stream) are counted in neither.
+func (e *Engine) batchRound(active []*task, round int64) bool {
+	cohort, prefills := e.cohort[:0], e.prefills[:0]
+	for _, t := range active {
+		if t.prefilled {
+			cohort = append(cohort, t)
+		} else {
+			prefills = append(prefills, t)
+		}
+	}
+	e.cohort, e.prefills = cohort, prefills
+	defer func() {
+		for i := range cohort {
+			cohort[i] = nil
+		}
+		for i := range prefills {
+			prefills[i] = nil
+		}
+	}()
+	if len(cohort) < 2 {
+		e.mx.observeBatch(0, len(cohort))
+		return false
+	}
+	if len(prefills) > 0 {
+		e.stepAll(prefills)
+	}
+	if e.bd == nil {
+		e.bd = e.m.NewBatchDecoder()
+	}
+	seqs, toks, lgs := e.cohortSeq[:0], e.cohortTok[:0], e.cohortLg[:0]
+	for _, t := range cohort {
+		seqs = append(seqs, t.seq)
+		toks = append(toks, t.lastTok)
+		lgs = append(lgs, t.logits)
+	}
+	e.cohortSeq, e.cohortTok, e.cohortLg = seqs, toks, lgs
+	e.rec.Emit(obs.Event{Type: obs.EvBatchRound, Round: round,
+		N: int64(len(cohort)), Aux: int64(len(prefills))})
+	e.batchDecodeCohort(cohort, seqs, toks, lgs)
+	e.mx.observeBatch(len(cohort), 0)
+	// Drop the sequence/logits references so retired tasks aren't pinned by
+	// engine scratch until the next batched round.
+	for i := range seqs {
+		seqs[i] = nil
+		lgs[i] = nil
+	}
+	return true
+}
+
+// batchDecodeCohort advances every cohort member one token through the
+// batched decoder, then samples per task on the scheduler goroutine. The
+// cohort shares one wall-clock measurement: members ran concurrently, so
+// each token's latency is the cohort round time. A panic (arena exhaustion
+// mid-phase can leave members at different positions) fails the whole
+// cohort — the members retire at the round barrier like any failed step.
+func (e *Engine) batchDecodeCohort(cohort []*task, seqs []*model.Sequence, toks []int, lgs [][]float32) {
+	defer func() {
+		if r := recover(); r != nil {
+			err, ok := r.(error)
+			if !ok {
+				err = ErrBadRequest
+			}
+			for _, t := range cohort {
+				if t.failed == nil {
+					t.failed = err
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	e.bd.DecodeInto(seqs, toks, lgs)
+	el := time.Since(start).Seconds()
+	for _, t := range cohort {
+		t.lastTok = t.sample()
+		t.resp.Tokens = append(t.resp.Tokens, t.lastTok)
+		t.tokenLat = append(t.tokenLat, el)
+	}
 }
 
 // spillCold is the between-rounds tiering pass of two-tier admission,

@@ -85,6 +85,15 @@ type Metrics struct {
 	KVDeviceUsed, KVDevicePeak             int64
 	KVHostUsed, KVHostPeak, KVHostCapacity int64
 	KVSpilled                              int64
+	// Batched-decode telemetry (Config.BatchDecode). BatchRounds counts
+	// rounds that ran a ≥2-stream decode cohort through the batched decoder;
+	// DecodeStreamsBatched sums cohort sizes over those rounds, while
+	// DecodeStreamsSolo counts decode steps that ran per-stream (cohort of
+	// one, or the knob off — prefill steps count in neither). CohortSize is
+	// the cohort-size distribution over batched rounds, in streams.
+	BatchRounds                             int64
+	DecodeStreamsBatched, DecodeStreamsSolo int64
+	CohortSize                              LatencyStats
 	// Quantized-decode telemetry (Config.DecodeKVBits): page runs the
 	// attention kernels of retired sequences dispatched to the int8 path vs
 	// the float32 fallback (pages shared at conversion time, decode tails).
@@ -122,6 +131,11 @@ func (m Metrics) String() string {
 	if m.KVHostCapacity > 0 {
 		fmt.Fprintf(&b, "kv tiers: device peak %d/%d, host peak %d/%d, %d slots spilled\n",
 			m.KVDevicePeak, m.KVCapacity, m.KVHostPeak, m.KVHostCapacity, m.KVSpilled)
+	}
+	if m.BatchRounds > 0 || m.DecodeStreamsSolo > 0 {
+		fmt.Fprintf(&b, "decode batch: %d batched rounds, %d batched streams, %d solo, cohort mean %.1f p50 %.0f max %.0f\n",
+			m.BatchRounds, m.DecodeStreamsBatched, m.DecodeStreamsSolo,
+			m.CohortSize.Mean, m.CohortSize.P50, m.CohortSize.Max)
 	}
 	if total := m.KVQuantRuns + m.KVFloatRuns; total > 0 {
 		fmt.Fprintf(&b, "kv quant: %d int8 page runs, %d f32 page runs (%.0f%% quantized)\n",
@@ -167,6 +181,9 @@ func (m Metrics) FillRegistry(reg *obs.Registry, labels ...obs.Label) {
 	cnt("clusterkv_serve_prefill_tokens_total", m.PrefillTokens)
 	cnt("clusterkv_serve_rounds_total", m.Rounds)
 	cnt("clusterkv_serve_kv_spilled_slots_total", m.KVSpilled)
+	cnt("clusterkv_serve_decode_batch_rounds_total", m.BatchRounds)
+	cnt("clusterkv_serve_decode_batched_streams_total", m.DecodeStreamsBatched)
+	cnt("clusterkv_serve_decode_solo_streams_total", m.DecodeStreamsSolo)
 	cnt("clusterkv_serve_kv_quant_runs_total", m.KVQuantRuns)
 	cnt("clusterkv_serve_kv_f32_runs_total", m.KVFloatRuns)
 	gauge("clusterkv_serve_kv_used_slots", float64(m.KVUsed))
@@ -188,6 +205,7 @@ func (m Metrics) FillRegistry(reg *obs.Registry, labels ...obs.Label) {
 	cnt("clusterkv_xfer_prefetched_pages_total", m.Transfer.PrefetchedPages)
 	cnt("clusterkv_xfer_prefetch_hits_total", m.Transfer.PrefetchHits)
 	cnt("clusterkv_xfer_prefetch_dropped_total", m.Transfer.PrefetchDropped)
+	m.CohortSize.fill(reg, "clusterkv_serve_decode_cohort_streams", labels)
 	m.TTFT.fill(reg, "clusterkv_serve_ttft_seconds", labels)
 	m.TokenLatency.fill(reg, "clusterkv_serve_token_latency_seconds", labels)
 	m.QueueWait.fill(reg, "clusterkv_serve_queue_wait_seconds", labels)
@@ -220,11 +238,15 @@ type engineMetrics struct {
 	prefixReused             int64
 	tokensOut, prefillTokens int64
 	rounds                   int64
-	kvPeak                   int64
-	devPeak, hostPeak        int64
-	queueDepth, batchOcc     metrics.Summary
-	ttft, tokenLat, qwait    metrics.Summary
-	firstAdmit, lastDone     time.Time
+	// batched-decode counters (Config.BatchDecode), scheduler-only writes.
+	batchRounds                 int64
+	batchedStreams, soloStreams int64
+	cohortSizes                 metrics.Summary
+	kvPeak                      int64
+	devPeak, hostPeak           int64
+	queueDepth, batchOcc        metrics.Summary
+	ttft, tokenLat, qwait       metrics.Summary
+	firstAdmit, lastDone        time.Time
 }
 
 // observeKV records the accountant gauges sampled at a round barrier (after
@@ -252,6 +274,20 @@ func (x *engineMetrics) observeRound(queued, active int) {
 	x.rounds++
 	x.queueDepth.Add(float64(queued))
 	x.batchOcc.Add(float64(active))
+}
+
+// observeBatch records one round's decode-batching outcome: cohort is the
+// batched cohort size (0 or 1 when the round fell back to per-stream, in
+// which case that lone decode counts as solo).
+func (x *engineMetrics) observeBatch(cohort, solo int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if cohort > 1 {
+		x.batchRounds++
+		x.batchedStreams += int64(cohort)
+		x.cohortSizes.Add(float64(cohort))
+	}
+	x.soloStreams += int64(solo)
 }
 
 // observeRejected counts a request failed at validation, before it ever
@@ -322,34 +358,38 @@ func (e *Engine) Metrics() Metrics {
 		elapsed = x.lastDone.Sub(x.firstAdmit)
 	}
 	return Metrics{
-		Submitted:          x.submitted.Load(),
-		Completed:          x.completed,
-		Failed:             x.failed,
-		PrefixHits:         x.prefixHits,
-		PrefixMisses:       x.prefixMisses,
-		PrefixEvicted:      x.prefixEvicted.Load(),
-		PrefixPartialHits:  x.prefixPartial,
-		PrefixReusedTokens: x.prefixReused,
-		TokensGenerated:    x.tokensOut,
-		PrefillTokens:      x.prefillTokens,
-		Rounds:             x.rounds,
-		Elapsed:            elapsed,
-		KVUsed:             e.kvUnits(e.acct.Used()),
-		KVPeak:             e.kvPeak(x),
-		KVCapacity:         e.kvUnits(e.acct.Capacity()),
-		KVDeviceUsed:       e.kvUnits(e.acct.DeviceUsed()),
-		KVDevicePeak:       e.kvUnits(x.devPeak),
-		KVHostUsed:         e.kvUnits(e.acct.HostUsed()),
-		KVHostPeak:         e.kvUnits(x.hostPeak),
-		KVHostCapacity:     e.kvUnits(e.acct.HostCapacity()),
-		KVSpilled:          e.kvUnits(x.spilled.Load()),
-		KVQuantRuns:        x.quantRuns.Load(),
-		KVFloatRuns:        x.floatRuns.Load(),
-		Transfer:           e.rt.Stats(),
-		TTFT:               summarize(&x.ttft),
-		TokenLatency:       summarize(&x.tokenLat),
-		QueueWait:          summarize(&x.qwait),
-		MeanQueueDepth:     x.queueDepth.Mean(),
-		MeanBatchOccupancy: x.batchOcc.Mean(),
+		Submitted:            x.submitted.Load(),
+		Completed:            x.completed,
+		Failed:               x.failed,
+		PrefixHits:           x.prefixHits,
+		PrefixMisses:         x.prefixMisses,
+		PrefixEvicted:        x.prefixEvicted.Load(),
+		PrefixPartialHits:    x.prefixPartial,
+		PrefixReusedTokens:   x.prefixReused,
+		TokensGenerated:      x.tokensOut,
+		PrefillTokens:        x.prefillTokens,
+		Rounds:               x.rounds,
+		Elapsed:              elapsed,
+		BatchRounds:          x.batchRounds,
+		DecodeStreamsBatched: x.batchedStreams,
+		DecodeStreamsSolo:    x.soloStreams,
+		CohortSize:           summarize(&x.cohortSizes),
+		KVUsed:               e.kvUnits(e.acct.Used()),
+		KVPeak:               e.kvPeak(x),
+		KVCapacity:           e.kvUnits(e.acct.Capacity()),
+		KVDeviceUsed:         e.kvUnits(e.acct.DeviceUsed()),
+		KVDevicePeak:         e.kvUnits(x.devPeak),
+		KVHostUsed:           e.kvUnits(e.acct.HostUsed()),
+		KVHostPeak:           e.kvUnits(x.hostPeak),
+		KVHostCapacity:       e.kvUnits(e.acct.HostCapacity()),
+		KVSpilled:            e.kvUnits(x.spilled.Load()),
+		KVQuantRuns:          x.quantRuns.Load(),
+		KVFloatRuns:          x.floatRuns.Load(),
+		Transfer:             e.rt.Stats(),
+		TTFT:                 summarize(&x.ttft),
+		TokenLatency:         summarize(&x.tokenLat),
+		QueueWait:            summarize(&x.qwait),
+		MeanQueueDepth:       x.queueDepth.Mean(),
+		MeanBatchOccupancy:   x.batchOcc.Mean(),
 	}
 }

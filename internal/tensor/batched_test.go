@@ -1,0 +1,103 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"clusterkv/internal/parallel"
+	"clusterkv/internal/rng"
+)
+
+// Batched-kernel conformance: every row of a batched product must be
+// bit-identical to the per-stream GEMV it replaces, at any batch size and
+// any pool width — the contract that lets the serving engine switch between
+// batched and per-stream decode without changing a single token.
+
+var batchWidths = []int{1, 2, 3, 8}
+var batchSizes = []int{1, 2, 3, 8}
+
+func randMat(r *rng.RNG, rows, cols int, zeroFrac float64) *Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		if r.Float64() < zeroFrac {
+			continue // keep exact zeros: the kernels' skip branch must match
+		}
+		m.Data[i] = r.NormFloat32()
+	}
+	return m
+}
+
+func expectBitsEqual(t *testing.T, name string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: element %d = %g (bits %08x), want %g (bits %08x)",
+				name, i, got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+		}
+	}
+}
+
+func TestMatTMatMatchesMatTVec(t *testing.T) {
+	shapes := []struct{ r, c int }{
+		{64, 64},   // square decode projection
+		{64, 37},   // odd columns (band splits mid-panel)
+		{17, 128},  // fewer weight rows than columns
+		{3, 5},     // tiny
+		{128, 256}, // FFN-like
+	}
+	r := rng.New(31)
+	for _, sh := range shapes {
+		m := randMat(r, sh.r, sh.c, 0.1)
+		for _, S := range batchSizes {
+			x := randMat(r, S, sh.r, 0.1)
+			want := NewMat(S, sh.c)
+			for s := 0; s < S; s++ {
+				MatTVecOn(nil, want.Row(s), m, x.Row(s))
+			}
+			for _, width := range batchWidths {
+				pool := parallel.NewPool(width)
+				got := NewMat(S, sh.c)
+				MatTMatOn(pool, got, m, x)
+				pool.Close()
+				expectBitsEqual(t, "MatTMat", got.Data, want.Data)
+			}
+		}
+	}
+}
+
+func TestPackedMatMulRowsMatchesMatVec(t *testing.T) {
+	shapes := []struct{ r, c int }{
+		{512, 64}, // LM-head shape
+		{33, 16},  // tail panel with 1 live row
+		{4, 8},    // single panel
+		{130, 48}, // tail panel with 2 live rows
+	}
+	r := rng.New(37)
+	for _, sh := range shapes {
+		m := randMat(r, sh.r, sh.c, 0)
+		pm := Pack(m)
+		for _, S := range batchSizes {
+			x := randMat(r, S, sh.c, 0.05)
+			want := make([][]float32, S)
+			for s := 0; s < S; s++ {
+				want[s] = make([]float32, sh.r)
+				pm.MatVecOn(nil, want[s], x.Row(s))
+			}
+			for _, width := range batchWidths {
+				pool := parallel.NewPool(width)
+				got := make([][]float32, S)
+				for s := 0; s < S; s++ {
+					got[s] = make([]float32, sh.r)
+				}
+				pm.MatMulRowsOn(pool, got, x)
+				pool.Close()
+				for s := 0; s < S; s++ {
+					expectBitsEqual(t, "MatMulRows", got[s], want[s])
+				}
+			}
+		}
+	}
+}
