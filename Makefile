@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test test-seq test-xfer-race test-fleet test-trace test-kernels test-batch vet race bench bench-smoke bench-json serve clean
+.PHONY: build test test-seq test-xfer-race test-fleet test-trace test-kernels test-batch vet race bench bench-smoke bench-json bench-compare serve clean
+
+# Experiments with committed BENCH_<exp>.json baselines at the repo root —
+# the perf trajectory the compare gate tracks (DESIGN.md §14).
+BENCH_TRACKED = fleet,pagedkv,overlap,radix,kernels,decodebatch
 
 build:
 	$(GO) build ./...
@@ -43,11 +47,20 @@ test-trace:
 	GOMAXPROCS=1 $(GO) test -count=1 -run 'Trace' ./internal/serve/ ./internal/fleet/ ./internal/obs/
 	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Trace' ./internal/serve/ ./internal/fleet/ ./internal/obs/
 
-# Machine-readable bench trajectory: BENCH_<exp>.json snapshots (typed
-# metrics + options + seed + commit) for the experiments with headline
-# numbers worth diffing across commits. Quick scale — not a measurement run.
+# Machine-readable bench trajectory: refresh the committed BENCH_<exp>.json
+# baselines at the repo root (typed metrics + options + seed + commit) for the
+# experiments with headline numbers worth diffing across commits. Quick scale
+# — not a measurement run. Run this (and commit the diff) whenever a change
+# intentionally moves a gated metric.
 bench-json:
-	$(GO) run ./cmd/clusterkv-bench -exp fleet,pagedkv,overlap,radix,kernels,decodebatch -json bench-out
+	$(GO) run ./cmd/clusterkv-bench -exp $(BENCH_TRACKED) -json .
+
+# Perf-regression trajectory gate: re-run the tracked experiments, diff every
+# deterministic metric against the committed repo-root baselines, and fail on
+# an adverse change beyond the threshold (wall-clock metrics only warn —
+# DESIGN.md §14). Fresh snapshots land in bench-out/ as a CI artifact.
+bench-compare:
+	$(GO) run ./cmd/clusterkv-bench -exp $(BENCH_TRACKED) -json bench-out -compare .
 
 # Kernel conformance lane: the blocked/packed/fused/quantized decode kernel
 # suites at GOMAXPROCS=1 and at GOMAXPROCS=2 with the race detector, locking

@@ -337,6 +337,35 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 	return obs.WriteChromeTrace(w, events)
 }
 
+// WriteChromeTraceFrom renders a tracer's retained events as Chrome
+// trace_event JSON like WriteChromeTrace, and additionally emits a warning
+// instant at the start of the timeline when the tracer's bounded ring dropped
+// events, so truncated timelines are never mistaken for complete ones.
+func WriteChromeTraceFrom(w io.Writer, t *Tracer) error {
+	return obs.WriteChromeTraceFrom(w, t)
+}
+
+// Attribution aggregates per-request latency breakdowns into per-phase
+// totals, quantiles and a top-K slowest list (DESIGN.md §14). Engines expose
+// theirs via Engine.Attribution when EngineConfig.Attribution is set; fleets
+// merge replica breakdowns into FleetSummary.Attribution.
+type Attribution = obs.Attribution
+
+// AttributionSnapshot is a point-in-time copy of an Attribution aggregate,
+// renderable as a table (WriteTable/String) and exportable into a
+// MetricsRegistry (FillRegistry).
+type AttributionSnapshot = obs.AttributionSnapshot
+
+// LatencyBreakdown is one request's span tree on the modeled clock: its
+// queue/admission/prefill/decode/interference/tiering phases tile the
+// request's modeled wall time exactly, with transfer-overlap and SLO-margin
+// telemetry alongside. Served responses carry one when attribution is on.
+type LatencyBreakdown = obs.Breakdown
+
+// LatencyPhase discriminates attribution phases (queue, admit, prefill,
+// decode, interference, tiering).
+type LatencyPhase = obs.Phase
+
 // MetricsRegistry is the unified labeled-metrics registry. Engine, fleet and
 // arena telemetry publish into one via their FillRegistry methods; WriteText
 // renders Prometheus-style text exposition.

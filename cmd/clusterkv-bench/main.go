@@ -5,6 +5,7 @@
 //	clusterkv-bench -exp fig11a -ctx 32768    # paper-scale recall experiment
 //	clusterkv-bench -exp tab1 -markdown       # Table I as markdown
 //	clusterkv-bench -exp fleet -json bench/   # + machine-readable BENCH_fleet.json
+//	clusterkv-bench -exp fleet -compare .     # regression-gate against ./BENCH_fleet.json
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -20,12 +22,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig3a, fig3b, fig9, tab1, fig10, fig11a, fig11b, fig12, fig13a, fig13b, cache, overlap, ablations, parprefill, pagedkv, fleet, all)")
-		ctx      = flag.Int("ctx", 8192, "max context length for trace experiments")
-		modelCtx = flag.Int("modelctx", 4096, "max context length for transformer-engine experiments")
-		seed     = flag.Uint64("seed", 1, "master seed")
-		markdown = flag.Bool("markdown", false, "emit markdown tables")
-		jsonDir  = flag.String("json", "", "also write a schema-versioned BENCH_<exp>.json snapshot per experiment into this directory")
+		exp        = flag.String("exp", "all", "experiment id (fig3a, fig3b, fig9, tab1, fig10, fig11a, fig11b, fig12, fig13a, fig13b, cache, overlap, ablations, parprefill, pagedkv, fleet, all)")
+		ctx        = flag.Int("ctx", 8192, "max context length for trace experiments")
+		modelCtx   = flag.Int("modelctx", 4096, "max context length for transformer-engine experiments")
+		seed       = flag.Uint64("seed", 1, "master seed")
+		markdown   = flag.Bool("markdown", false, "emit markdown tables")
+		jsonDir    = flag.String("json", "", "also write a schema-versioned BENCH_<exp>.json snapshot per experiment into this directory")
+		compareDir = flag.String("compare", "", "diff each experiment against the baseline BENCH_<exp>.json in this directory and exit nonzero when a deterministic metric regresses")
+		regressPct = flag.Float64("regress-pct", bench.DefaultRegressPct, "relative adverse change on a gated metric that fails -compare")
 	)
 	flag.Parse()
 
@@ -45,6 +49,7 @@ func main() {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
+	regressed := false
 	for _, id := range ids {
 		run, ok := runners[id]
 		if !ok {
@@ -69,7 +74,33 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "[%s snapshot -> %s]\n", id, path)
 		}
+		if *compareDir != "" {
+			basePath := filepath.Join(*compareDir, fmt.Sprintf("BENCH_%s.json", id))
+			baseline, err := bench.ReadSnapshot(basePath)
+			switch {
+			case os.IsNotExist(err):
+				fmt.Fprintf(os.Stderr, "[%s: no baseline at %s, skipping compare]\n", id, basePath)
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "baseline %s: %v\n", basePath, err)
+				os.Exit(1)
+			default:
+				res, err := bench.Compare(baseline, bench.NewSnapshot(id, commit, opt, reports), *regressPct)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "compare %s: %v\n", id, err)
+					os.Exit(1)
+				}
+				res.WriteTable(os.Stdout)
+				fmt.Println()
+				if !res.OK() {
+					regressed = true
+				}
+			}
+		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if regressed {
+		fmt.Fprintln(os.Stderr, "bench compare: deterministic metric regression detected")
+		os.Exit(1)
 	}
 }
 

@@ -41,6 +41,7 @@ func main() {
 		method    = flag.String("method", "clusterkv", "compression method (clusterkv, quest, fullkv)")
 		loadKind  = flag.String("load", "qa", "workload shape: qa (shared-doc questions), chat (multi-turn sessions), agentic (re-entry loops), rag (templated retrieval); non-qa loads ignore -requests/-docs/-doclen/-qlen")
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = deterministic closed-loop Run)")
+		attr      = flag.Bool("attr", false, "per-request latency attribution: per-phase breakdown table per policy on the modeled clock (DESIGN.md §14); adds a span lane per request to -trace and clusterkv_attr_* series to -metrics")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline (router lane + one lane per replica; with -policy all, the file holds the last policy's run)")
 		metricsTo = flag.String("metrics", "", "write text metrics exposition to this file after the run (\"-\" = stdout); one series set per policy, labeled policy=<name>")
@@ -181,14 +182,15 @@ func main() {
 			tracer.Reset()
 		}
 		router := clusterkv.NewFleetRouter(m, clusterkv.FleetConfig{
-			Replicas: *replicas,
-			Policy:   p,
-			Engine:   ecfg,
-			SLOTTFT:  *sloTTFT / 1e3,
-			SLOTBT:   *sloTBT / 1e3,
-			Shed:     *shed,
-			Seed:     *seed,
-			Trace:    tracer,
+			Replicas:    *replicas,
+			Policy:      p,
+			Engine:      ecfg,
+			SLOTTFT:     *sloTTFT / 1e3,
+			SLOTBT:      *sloTBT / 1e3,
+			Shed:        *shed,
+			Seed:        *seed,
+			Trace:       tracer,
+			Attribution: *attr,
 		})
 		start := time.Now()
 		if *rate > 0 {
@@ -225,8 +227,11 @@ func main() {
 	}
 
 	if tracer != nil {
+		if reg != nil {
+			tracer.FillRegistry(reg)
+		}
 		f := mustCreate(*traceOut)
-		err := clusterkv.WriteChromeTrace(f, tracer.Events())
+		err := clusterkv.WriteChromeTraceFrom(f, tracer)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}

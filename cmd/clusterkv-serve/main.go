@@ -71,6 +71,7 @@ func main() {
 		decodeKVQ = flag.Int("decodekvbits", 0, "int8-style quantized KV decode bit width (2..8, 0 = exact float path); quantized runs are deterministic per seed but not token-identical to serial, so -verify is disabled")
 		batchDec  = flag.Bool("batchdecode", true, "run each round's decode streams as one lock-step batched cohort (one GEMM per weight matrix per round); bit-identical to per-stream decode")
 		rate      = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+		attrOn    = flag.Bool("attr", false, "per-request latency attribution: per-phase breakdown table on the modeled clock (DESIGN.md §14); adds a span lane per request to -trace and clusterkv_attr_* series to -metrics")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		method    = flag.String("method", "all", "methods to serve (clusterkv, quest, fullkv, all)")
 		loadKind  = flag.String("load", "qa", "workload shape: qa (shared-doc questions), chat (multi-turn sessions), agentic (re-entry loops), rag (templated retrieval); non-qa loads ignore -requests/-docs/-doclen/-qlen")
@@ -223,13 +224,23 @@ func main() {
 		cfg.FlatPrefixCache = *flatCache
 		cfg.Seed = *seed
 		cfg.Trace = tracer.Recorder(mi) // nil tracer -> disabled recorder
+		cfg.Attribution = *attrOn
 		eng := clusterkv.NewEngine(m, cfg)
 		resps := dispatch(eng, reqs, load, *rate)
 		eng.Close() // drain (incl. the transfer worker) before the snapshot
 		mx := eng.Metrics()
 		arenaPeak := eng.Arena().PeakPages()
+		var attrSnap *clusterkv.AttributionSnapshot
+		if a := eng.Attribution(); a != nil {
+			s := a.Snapshot()
+			attrSnap = &s
+		}
 		if reg != nil {
-			eng.FillRegistry(reg, clusterkv.ML("method", strings.ToLower(spec.name)))
+			ml := clusterkv.ML("method", strings.ToLower(spec.name))
+			eng.FillRegistry(reg, ml)
+			if attrSnap != nil {
+				attrSnap.FillRegistry(reg, ml)
+			}
 		}
 
 		failed, compared := 0, 0
@@ -292,6 +303,9 @@ func main() {
 			fmt.Printf("serial baseline: %.1f tok/s (one request at a time, full per-request prefill)\n", r.serialTokS)
 			fmt.Printf("engine speedup:  %.2fx aggregate tokens/sec over serial decode\n", r.speedup)
 		}
+		if attrSnap != nil {
+			attrSnap.WriteTable(os.Stdout)
+		}
 		fmt.Println()
 	}
 
@@ -310,6 +324,9 @@ func main() {
 	}
 
 	if tracer != nil {
+		if reg != nil {
+			tracer.FillRegistry(reg)
+		}
 		writeTrace(*traceOut, tracer)
 	}
 	if reg != nil {
@@ -336,7 +353,7 @@ func mustCreate(path string) *os.File {
 
 func writeTrace(path string, tracer *clusterkv.Tracer) {
 	f := mustCreate(path)
-	err := clusterkv.WriteChromeTrace(f, tracer.Events())
+	err := clusterkv.WriteChromeTraceFrom(f, tracer)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

@@ -59,6 +59,16 @@ type RuntimeAware interface {
 	SetTransferRuntime(rt *kvcache.TransferRuntime)
 }
 
+// StallReporter is an optional Selector extension: selectors whose ledgers
+// account per-request transfer stalls report them here, summed across
+// layers and heads — modeled channel seconds that blocked compute (exposed)
+// vs seconds hidden behind it. The serving engine harvests the pair at
+// retirement into the request's attribution breakdown (DESIGN.md §14).
+// Wall-clock dependent telemetry: excluded from determinism fingerprints.
+type StallReporter interface {
+	TransferStalls() (exposedSec, hiddenSec float64)
+}
+
 // SelStats aggregates the operation counts the latency model charges for.
 // All counts are totals across layers, heads and steps since Reset.
 type SelStats struct {

@@ -33,8 +33,8 @@ import (
 func RunKernels(o Options) *Report {
 	o = o.withDefaults()
 	rep := &Report{
-		ID:    "kernels",
-		Title: "cache-conscious decode kernels: fused gather, packed GEMV, int8 KV attention",
+		ID:      "kernels",
+		Title:   "cache-conscious decode kernels: fused gather, packed GEMV, int8 KV attention",
 		Headers: []string{"section", "variant", "ns/op", "speedup"},
 	}
 

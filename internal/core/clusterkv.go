@@ -554,6 +554,21 @@ func (c *ClusterKV) Ledger(layer, head int) *kvcache.Ledger {
 	return c.state(layer, head).ledger
 }
 
+// TransferStalls implements attention.StallReporter: this selector's modeled
+// transfer time summed across every (layer, head) ledger, split into the
+// portion that blocked compute and the portion hidden behind it.
+func (c *ClusterKV) TransferStalls() (exposedSec, hiddenSec float64) {
+	for _, st := range c.states {
+		if st == nil || st.ledger == nil {
+			continue
+		}
+		e, h := st.ledger.TransferStalls()
+		exposedSec += e
+		hiddenSec += h
+	}
+	return exposedSec, hiddenSec
+}
+
 func mix(a, b uint64) uint64 {
 	x := a*0x9e3779b97f4a7c15 ^ (b + 0x7f4a7c15)
 	x ^= x >> 33

@@ -4,53 +4,18 @@ import (
 	"clusterkv/internal/memsim"
 )
 
-// latencyModel converts a replica's round/token/page counts into modeled
-// seconds. It follows the memsim idiom (DESIGN.md §4): the algorithms run
-// for real on the small deterministic engine, producing exact token, page
-// and round counts, and those counts are costed as if the fleet were serving
-// Config.Shape (Llama-3.1-8B by default) on Config.Hardware — which is what
-// makes prefill, decode and PCIe page movement carry their paper-scale
-// relative weights instead of the toy model's.
-//
-// The router uses it twice: at placement time to predict a candidate
-// replica's TTFT against the SLO (backlog + marginal prefill + first token),
-// and after a deterministic Run to assign every request a modeled TTFT/TBT
-// from the replica's actual round schedule. Both uses are pure functions of
-// deterministic state — token counts, page counts, scheduler rounds — so
-// modeled latencies reproduce run-to-run even though wall clock does not.
-type latencyModel struct {
-	// prefillSecPerTok is the modeled compute time to prefill one token:
-	// 2 FLOPs per weight through the dense pipeline.
-	prefillSecPerTok float64
-	// decodeSecPerTok is the modeled time of one batched decode step: the
-	// weight-streaming pass every concurrent stream shares, plus the fixed
-	// launch overhead. Continuous batching is what makes this per-round, not
-	// per-stream.
-	decodeSecPerTok float64
-	// secPerPlanePage is the modeled PCIe time to move one (layer, head) KV
-	// page (memsim.Hardware.SecPerKVPage), and pagePlanes the (layer, head)
-	// plane count a token's KV spans on the modeled shape.
-	secPerPlanePage float64
-	pagePlanes      int64
-	pageTokens      int
-}
+// latencyModel is memsim.LatencyModel — the shared round/token/page cost
+// model (see internal/memsim/costmodel.go). The router uses it twice: at
+// placement time to predict a candidate replica's TTFT against the SLO
+// (backlog + marginal prefill + first token), and after a deterministic Run
+// to assign every request a modeled TTFT/TBT from the replica's actual round
+// schedule. The serve engine's attribution clock (DESIGN.md §14) uses the
+// same model, so fleet latencies and per-request phase breakdowns agree on
+// what a round costs.
+type latencyModel = memsim.LatencyModel
 
-// newLatencyModel derives the model from the hardware and the modeled shape.
 func newLatencyModel(hw memsim.Hardware, shape memsim.ModelShape, pageTokens int) latencyModel {
-	return latencyModel{
-		prefillSecPerTok: 2 * float64(shape.Params) / hw.ComputeFLOPS,
-		decodeSecPerTok:  shape.WeightBytes()/hw.HBMBandwidth + hw.LaunchOverhead,
-		secPerPlanePage:  hw.SecPerKVPage(shape.HeadDim, pageTokens),
-		pagePlanes:       int64(shape.NLayers * shape.NKVHeads),
-		pageTokens:       pageTokens,
-	}
-}
-
-// prefillSec models prefilling n marginal tokens: dense compute plus the
-// PCIe movement of the KV pages that prefill writes.
-func (lm latencyModel) prefillSec(n int) float64 {
-	pages := pagesFor(n, lm.pageTokens) * lm.pagePlanes
-	return lm.prefillSecPerTok*float64(n) + lm.secPerPlanePage*float64(pages)
+	return memsim.NewLatencyModel(hw, shape, pageTokens)
 }
 
 // pagesFor returns the per-plane page count covering n tokens.

@@ -126,6 +126,12 @@ type Config struct {
 	// Tracing never changes placement or scheduling — the traced-vs-untraced
 	// fleet determinism suite locks this.
 	Trace *obs.Tracer
+	// Attribution enables per-request latency attribution (DESIGN.md §14) on
+	// every replica engine and aggregates Run workloads' breakdowns — with
+	// replica labels and modeled SLO margins stamped in — into
+	// Summary.Attribution. Deterministic per seed and fingerprint-neutral,
+	// like tracing.
+	Attribution bool
 }
 
 // DefaultConfig returns a 2-replica affinity-routing fleet over default
@@ -148,6 +154,10 @@ type Response struct {
 	// SLOMiss reports whether a configured SLO was missed by the modeled
 	// latencies (always true for shed requests).
 	SLOMiss bool
+	// SLOMargin is the modeled margin to the tightest configured SLO in
+	// seconds — min over the configured SLOTTFT/SLOTBT of (SLO − modeled);
+	// negative on a miss. Zero when no SLO is configured.
+	SLOMargin float64
 }
 
 // Ticket is the handle returned by Submit.
@@ -209,10 +219,10 @@ type Router struct {
 	// membership only, for the longest-prefix marginal walk.
 	charged       map[prefixOn]int64 // prefix pages added on a replica (rebase model)
 	chainOn       map[prefixOn]struct{}
-	assignedReqs  []int64            // requests routed since the last rebase
-	assignedPages []int64            // modeled KV pages routed per replica (prefix counted once)
-	backlogSec    []float64          // modeled seconds of work routed since the last rebase
-	routedReqs    []int64            // cumulative per-replica placements (Summary)
+	assignedReqs  []int64   // requests routed since the last rebase
+	assignedPages []int64   // modeled KV pages routed per replica (prefix counted once)
+	backlogSec    []float64 // modeled seconds of work routed since the last rebase
+	routedReqs    []int64   // cumulative per-replica placements (Summary)
 	rrNext        uint64
 
 	// Fleet accumulators.
@@ -221,6 +231,11 @@ type Router struct {
 	savedPrefillPages    int64
 	sloMissed, sloJudged int64
 	modelTTFT, modelTBT  metrics.Summary
+	// attr merges every served Run request's latency breakdown (replica and
+	// SLO margin stamped in) in submission order — deterministic because
+	// observe folds the indexed out slice, never goroutine completion order.
+	// nil unless Config.Attribution.
+	attr *obs.Attribution
 
 	// rec is the router's own trace lane (-1); placeSeq numbers streaming
 	// placements (under mu) so Submit events carry a submission index too.
@@ -264,6 +279,9 @@ func NewRouter(m *model.Model, cfg Config) *Router {
 		chainOn:    make(map[prefixOn]struct{}),
 	}
 	r.rec = cfg.Trace.Recorder(-1) // nil-safe: disabled on a nil tracer
+	if cfg.Attribution {
+		r.attr = obs.NewAttribution()
+	}
 	r.engines = make([]*serve.Engine, cfg.Replicas)
 	r.assignedReqs = make([]int64, cfg.Replicas)
 	r.assignedPages = make([]int64, cfg.Replicas)
@@ -275,6 +293,9 @@ func NewRouter(m *model.Model, cfg Config) *Router {
 		// 1-replica ≡ Engine.Run contract; others get independent streams.
 		ecfg.Seed = cfg.Engine.Seed ^ (uint64(i) * 0x9e3779b97f4a7c15)
 		ecfg.Trace = cfg.Trace.Recorder(i)
+		ecfg.Attribution = cfg.Attribution
+		ecfg.ModelHardware = cfg.Hardware
+		ecfg.ModelShape = cfg.Shape
 		r.engines[i] = serve.NewEngine(m, ecfg)
 	}
 	return r
@@ -395,14 +416,14 @@ func (r *Router) marginal(req *serve.Request, rep int, chain []chainLink) int {
 // marginal prefill (compute + page movement) and its decode share of the
 // continuously batched rounds.
 func (r *Router) reqSec(req *serve.Request, margToks int) float64 {
-	return r.lm.prefillSec(margToks) +
-		r.lm.decodeSecPerTok*float64(req.MaxNewTokens)/float64(r.maxBatch)
+	return r.lm.PrefillSec(margToks) +
+		r.lm.DecodeSecPerTok*float64(req.MaxNewTokens)/float64(r.maxBatch)
 }
 
 // predictTTFT models time-to-first-token on rep: everything already routed
 // there, then this request's marginal prefill and first batched decode step.
 func (r *Router) predictTTFT(req *serve.Request, rep, margToks int) float64 {
-	return r.backlogSec[rep] + r.lm.prefillSec(margToks) + r.lm.decodeSecPerTok
+	return r.backlogSec[rep] + r.lm.PrefillSec(margToks) + r.lm.DecodeSecPerTok
 }
 
 // mix is the consistent-hash mixer (splitmix64 finaliser): placement
@@ -623,7 +644,8 @@ func (r *Router) Run(reqs []serve.Request) []Response {
 // inputs (rounds, token counts, page counts) are deterministic, so the
 // modeled latencies are too.
 func (r *Router) modelLatencies(reqs []serve.Request, out []Response, perRep [][]int) {
-	for _, idxs := range perRep {
+	hasSLO := r.cfg.SLOTTFT > 0 || r.cfg.SLOTBT > 0
+	for rep, idxs := range perRep {
 		if len(idxs) == 0 {
 			continue
 		}
@@ -656,8 +678,8 @@ func (r *Router) modelLatencies(reqs []serve.Request, out []Response, perRep [][
 		// Cumulative modeled clock across rounds base+1..maxRound.
 		T := make([]float64, maxRound-base+1)
 		for t := base + 1; t <= maxRound; t++ {
-			T[t-base] = T[t-base-1] + r.lm.decodeSecPerTok +
-				r.lm.prefillSec(int(prefillAt[t]))
+			T[t-base] = T[t-base-1] + r.lm.DecodeSecPerTok +
+				r.lm.PrefillSec(int(prefillAt[t]))
 		}
 		for _, i := range idxs {
 			if out[i].Err != nil {
@@ -670,6 +692,23 @@ func (r *Router) modelLatencies(reqs []serve.Request, out []Response, perRep [][
 			}
 			out[i].SLOMiss = (r.cfg.SLOTTFT > 0 && out[i].ModelTTFT > r.cfg.SLOTTFT) ||
 				(r.cfg.SLOTBT > 0 && out[i].ModelTBT > r.cfg.SLOTBT)
+			if hasSLO {
+				margin := math.Inf(1)
+				if r.cfg.SLOTTFT > 0 {
+					margin = r.cfg.SLOTTFT - out[i].ModelTTFT
+				}
+				if r.cfg.SLOTBT > 0 {
+					if m := r.cfg.SLOTBT - out[i].ModelTBT; m < margin {
+						margin = m
+					}
+				}
+				out[i].SLOMargin = margin
+			}
+			if bd := out[i].Breakdown; bd != nil {
+				bd.Replica = rep
+				bd.SLOMarginSec = out[i].SLOMargin
+				bd.HasSLO = hasSLO
+			}
 		}
 	}
 }
@@ -695,6 +734,9 @@ func (r *Router) observe(reqs []serve.Request, out []Response) {
 			if out[i].SLOMiss {
 				r.sloMissed++
 			}
+		}
+		if r.attr != nil && out[i].Breakdown != nil {
+			r.attr.Observe(*out[i].Breakdown)
 		}
 	}
 }
@@ -793,7 +835,7 @@ func (r *Router) Submit(req serve.Request) *Ticket {
 			minPred = preds[i]
 		}
 	}
-	predTBT := r.lm.decodeSecPerTok // modeled per-round token interval
+	predTBT := r.lm.DecodeSecPerTok // modeled per-round token interval
 	if r.cfg.SLOTTFT > 0 && r.cfg.Shed && minPred > r.cfg.SLOTTFT {
 		r.shed++
 		r.sloJudged++

@@ -70,6 +70,11 @@ type Summary struct {
 	Balance float64
 
 	PerReplica []ReplicaStats
+
+	// Attribution is the merged per-phase latency attribution across every
+	// request served by Run, replica-labeled and SLO-margin-stamped
+	// (DESIGN.md §14). nil unless Config.Attribution.
+	Attribution *obs.AttributionSnapshot
 }
 
 // PrefixHitRate returns hits/(hits+misses) across the fleet (0 when no
@@ -113,24 +118,29 @@ func (r *Router) Summary() Summary {
 		s.SLOAttainment = 1 - float64(r.sloMissed)/float64(r.sloJudged)
 	}
 	routed := append([]int64(nil), r.routedReqs...)
+	attr := r.attr
 	r.mu.Unlock()
+	if attr != nil {
+		snap := attr.Snapshot()
+		s.Attribution = &snap
+	}
 
 	var maxRouted int64
 	for i, e := range r.engines {
 		mx := e.Metrics()
 		rs := ReplicaStats{
-			Routed:          routed[i],
-			Completed:       mx.Completed,
-			Failed:          mx.Failed,
+			Routed:             routed[i],
+			Completed:          mx.Completed,
+			Failed:             mx.Failed,
 			PrefixHits:         mx.PrefixHits,
 			PrefixMisses:       mx.PrefixMisses,
 			PrefixPartialHits:  mx.PrefixPartialHits,
 			PrefixReusedTokens: mx.PrefixReusedTokens,
 			PrefillTokens:      mx.PrefillTokens,
-			TokensGenerated: mx.TokensGenerated,
-			Rounds:          mx.Rounds,
-			KVPeak:          mx.KVPeak,
-			ArenaPeakPages:  e.Arena().PeakPages(),
+			TokensGenerated:    mx.TokensGenerated,
+			Rounds:             mx.Rounds,
+			KVPeak:             mx.KVPeak,
+			ArenaPeakPages:     e.Arena().PeakPages(),
 		}
 		s.PerReplica = append(s.PerReplica, rs)
 		s.Routed += rs.Routed
@@ -195,6 +205,9 @@ func (r *Router) FillRegistry(reg *obs.Registry, labels ...obs.Label) {
 		e.FillRegistry(reg, rl...)
 		reg.Counter("clusterkv_fleet_replica_routed_total", rl...).Set(s.PerReplica[i].Routed)
 	}
+	if s.Attribution != nil {
+		s.Attribution.FillRegistry(reg, labels...)
+	}
 }
 
 // String formats the snapshot as a small report: fleet aggregates plus one
@@ -221,6 +234,9 @@ func (s Summary) String() string {
 		fmt.Fprintf(&b, "%-8d %7d %9d %7d %8d %8d %8d %7d %8d %9d\n",
 			i, rs.Routed, rs.Completed, rs.Failed, rs.PrefixHits, rs.PrefixMisses,
 			rs.PrefillTokens, rs.TokensGenerated, rs.Rounds, rs.KVPeak)
+	}
+	if s.Attribution != nil {
+		b.WriteString(s.Attribution.String())
 	}
 	return b.String()
 }

@@ -91,6 +91,13 @@ type Ledger struct {
 
 	scratch      []int // page-dedup scratch reused across Fetch calls
 	fetchScratch []int // page set scratch for inline runtime fetches (compute-thread-only)
+
+	// xferExposedSec / xferHiddenSec split this ledger's modeled transfer
+	// time into the portion that blocked compute (exposed at Wait) and the
+	// portion that fit behind it. Wall-clock dependent — attribution
+	// telemetry (DESIGN.md §14), excluded from determinism fingerprints.
+	xferExposedSec float64
+	xferHiddenSec  float64
 }
 
 // NewLedger returns a token-granular ledger (page size 1), the exact
@@ -108,6 +115,26 @@ func NewLedgerPaged(pageTokens int) *Ledger {
 
 // PageTokens returns the residency granularity in tokens.
 func (l *Ledger) PageTokens() int { return l.pageTokens }
+
+// addStall attributes one waited transfer's modeled time to this ledger:
+// exposedSec blocked compute, the rest hid behind it. Called by the
+// transfer runtime at Wait (async) or service (sync).
+func (l *Ledger) addStall(exposedSec, modeledSec float64) {
+	l.mu.Lock()
+	l.xferExposedSec += exposedSec
+	if h := modeledSec - exposedSec; h > 0 {
+		l.xferHiddenSec += h
+	}
+	l.mu.Unlock()
+}
+
+// TransferStalls returns the ledger's accumulated exposed/hidden modeled
+// transfer time (see addStall). Wall-clock dependent telemetry.
+func (l *Ledger) TransferStalls() (exposedSec, hiddenSec float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.xferExposedSec, l.xferHiddenSec
+}
 
 // Bind attaches a store so host-tier transitions quantize its pages at the
 // given bit width (2–8) and fetches restore (dequantize) them — the

@@ -310,6 +310,11 @@ func (rt *TransferRuntime) service(batch []*Transfer) {
 	}
 	rt.mu.Unlock()
 	for _, t := range batch {
+		if rt.syncMode && t.ledger != nil {
+			// Sync mode exposes every modeled second by definition, so the
+			// per-ledger attribution is settled here; Wait skips it.
+			t.ledger.addStall(t.modeled, t.modeled)
+		}
 		if t.ready != nil {
 			close(t.ready)
 		}
@@ -331,20 +336,25 @@ func (t *Transfer) Wait() {
 		return
 	}
 	residue := time.Until(t.deadline)
-	if residue <= 0 {
-		return
-	}
 	rt := t.rt
 	if !rt.syncMode {
-		exposed := residue.Seconds()
-		if exposed > t.modeled {
-			exposed = t.modeled
+		var exposed float64
+		if residue > 0 {
+			exposed = residue.Seconds()
+			if exposed > t.modeled {
+				exposed = t.modeled
+			}
+			rt.mu.Lock()
+			rt.exposedSec += exposed
+			rt.mu.Unlock()
 		}
-		rt.mu.Lock()
-		rt.exposedSec += exposed
-		rt.mu.Unlock()
+		if t.ledger != nil {
+			// Per-ledger stall attribution: exposed blocked this wait, the
+			// rest of the modeled time hid behind compute (DESIGN.md §14).
+			t.ledger.addStall(exposed, t.modeled)
+		}
 	}
-	if rt.throttle {
+	if residue > 0 && rt.throttle {
 		time.Sleep(residue)
 	}
 }

@@ -39,6 +39,11 @@ const (
 	lanePrefetch
 )
 
+// spanTidBase offsets per-request attribution-span lanes: request Req's
+// span tree renders on tid spanTidBase+Req, so overlapping requests never
+// share a B/E stack.
+const spanTidBase = 100
+
 // chromeEvent is one trace_event record. Fields follow the Trace Event
 // Format; Scope/Args are optional.
 type chromeEvent struct {
@@ -50,6 +55,10 @@ type chromeEvent struct {
 	Tid   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
+
+	// depth is the span's nesting depth (0 parent, 1 phase child) — sort
+	// key only, not marshaled.
+	depth int
 }
 
 type chromeTrace struct {
@@ -70,12 +79,33 @@ func meta(name string, pid, tid int, value string) chromeEvent {
 // come straight from Tracer.Events; ordering within a lane follows the
 // modeled clocks, not slice order.
 func WriteChromeTrace(w io.Writer, events []Event) error {
+	return writeChromeTrace(w, events, 0)
+}
+
+// WriteChromeTraceFrom renders the tracer's retained events, annotating the
+// trace with a warning instant when the ring has overwritten (dropped)
+// events — the exported timeline is then a suffix of the run, not the whole
+// run.
+func WriteChromeTraceFrom(w io.Writer, t *Tracer) error {
+	return writeChromeTrace(w, t.Events(), t.Dropped())
+}
+
+func writeChromeTrace(w io.Writer, events []Event, dropped uint64) error {
 	var out []chromeEvent
 
-	// Metadata: name every process and lane we will touch.
+	// Metadata: name every process and lane we will touch, including one
+	// span lane per (replica, request) seen in the EvSpan stream.
 	pids := map[int]bool{}
+	spanTids := map[int]map[int]uint64{}
 	for _, ev := range events {
-		pids[pidOf(ev.Replica)] = true
+		pid := pidOf(ev.Replica)
+		pids[pid] = true
+		if ev.Type == EvSpan && ev.N < 0 {
+			if spanTids[pid] == nil {
+				spanTids[pid] = map[int]uint64{}
+			}
+			spanTids[pid][spanTidBase+int(ev.Req)] = ev.Req
+		}
 	}
 	var pidList []int
 	for pid := range pids {
@@ -97,6 +127,10 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		} {
 			out = append(out, meta("thread_name", pid, tid, lname))
 		}
+		for tid, req := range spanTids[pid] {
+			out = append(out, meta("thread_name", pid, tid,
+				fmt.Sprintf("req %d attribution (modeled)", req)))
+		}
 	}
 	// Deterministic metadata order (map iteration above is not).
 	sort.SliceStable(out, func(i, j int) bool {
@@ -105,6 +139,19 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		}
 		return out[i].Tid < out[j].Tid
 	})
+
+	if dropped > 0 {
+		warnPid := 0
+		if len(pidList) > 0 {
+			warnPid = pidList[0]
+		}
+		out = append(out, chromeEvent{
+			Name: "WARNING: tracer ring dropped events", Ph: "i", Ts: 0,
+			Pid: warnPid, Tid: 0, Scope: "g",
+			Args: map[string]any{"dropped": dropped,
+				"note": "ring overwrote oldest events; timeline is a suffix of the run"},
+		})
+	}
 
 	roundTs := func(round int64) float64 {
 		if round < 1 {
@@ -117,9 +164,35 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			Pid: pidOf(ev.Replica), Tid: tid, Scope: "t", Args: args}
 	}
 
+	// Attribution spans render as B/E pairs on per-request lanes; they are
+	// collected separately and sorted so nesting is well-formed (a child
+	// opens after its parent and closes before it) regardless of emission
+	// interleaving in the ring.
+	var spans []chromeEvent
+
 	for _, ev := range events {
 		pid := pidOf(ev.Replica)
 		switch ev.Type {
+		case EvSpan:
+			tid := spanTidBase + int(ev.Req)
+			name := fmt.Sprintf("req %d", ev.Req)
+			depth := 0
+			args := map[string]any{"req": ev.Req, "retire_round": ev.Round,
+				"modeled_ms": ev.Dur * 1e3}
+			if ev.N >= 0 {
+				name = Phase(ev.N).String()
+				depth = 1
+				if Phase(ev.N) == PhaseDecode {
+					args["batched_rounds"] = ev.Aux
+				}
+			} else {
+				args["decode_rounds"] = ev.Aux
+			}
+			spans = append(spans,
+				chromeEvent{Name: name, Ph: "B", Ts: ev.Sec * 1e6,
+					Pid: pid, Tid: tid, Args: args, depth: depth},
+				chromeEvent{Name: name, Ph: "E", Ts: (ev.Sec + ev.Dur) * 1e6,
+					Pid: pid, Tid: tid, depth: depth})
 		case EvRoundBegin:
 			out = append(out, chromeEvent{
 				Name: fmt.Sprintf("round %d", ev.Round), Ph: "X",
@@ -209,6 +282,38 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			})
 		}
 	}
+
+	// Order each span lane so B/E nesting is well-formed: by timestamp; at
+	// equal timestamps an E closes before a B opens (adjacent phases tile),
+	// deeper spans close before their parent, and a parent opens before its
+	// children.
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		ra, rb := 0, 0
+		if a.Ph == "B" {
+			ra = 1
+		}
+		if b.Ph == "B" {
+			rb = 1
+		}
+		if ra != rb {
+			return ra < rb // E before B at the same timestamp
+		}
+		if a.Ph == "E" {
+			return a.depth > b.depth // children close before the parent
+		}
+		return a.depth < b.depth // the parent opens before its children
+	})
+	out = append(out, spans...)
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})

@@ -76,6 +76,12 @@ const (
 	// cohort (Config.BatchDecode): N = cohort size (decoding streams),
 	// Aux = prefill steps running per-stream alongside it.
 	EvBatchRound
+	// EvSpan records one attribution span on the modeled attribution clock
+	// (DESIGN.md §14): Req = request id, Round = retire round, N = phase
+	// index (-1 for the request's parent span), Sec = span begin (modeled
+	// seconds), Dur = span duration, Aux = decode rounds (parent) / batched
+	// rounds (decode phase). Emitted at retire via EmitSpans.
+	EvSpan
 )
 
 // String returns the event type's taxonomy name.
@@ -119,6 +125,8 @@ func (t EventType) String() string {
 		return "fleet-shed"
 	case EvBatchRound:
 		return "batch-round"
+	case EvSpan:
+		return "span"
 	}
 	return "unknown"
 }

@@ -122,6 +122,20 @@ type Config struct {
 	// never changes scheduling: traced and untraced runs produce identical
 	// tokens, rounds and metrics (locked by the determinism suites).
 	Trace obs.Recorder
+	// Attribution enables per-request latency attribution (DESIGN.md §14):
+	// every retired request carries a Response.Breakdown tiling its modeled
+	// wall time into queue / admit / prefill / decode / interference /
+	// tiering phases on the attribution clock, the engine aggregates them
+	// into Engine.Attribution(), and — with Trace enabled — emits the
+	// deterministic EvSpan stream. Attribution never feeds back into
+	// scheduling: on/off runs are token-, round- and fingerprint-identical
+	// (locked by the determinism suites).
+	Attribution bool
+	// ModelHardware and ModelShape parameterise the attribution clock's
+	// latency model; zero values mean the paper GPU (memsim.AdaRTX6000)
+	// serving memsim.Llama31_8B, matching the fleet router's defaults.
+	ModelHardware memsim.Hardware
+	ModelShape    memsim.ModelShape
 }
 
 // DefaultConfig returns the default engine configuration.
@@ -190,6 +204,10 @@ type Engine struct {
 	// on the loop goroutine; the transfer runtime carries its own copy.
 	rec obs.Recorder
 
+	// attr is the attribution clock (Config.Attribution, DESIGN.md §14);
+	// nil when attribution is off. Touched only on the loop goroutine.
+	attr *attrTracker
+
 	// bd is the cross-stream batched decoder (Config.BatchDecode), created
 	// lazily on the loop goroutine; the cohort slices are scheduler-owned
 	// scratch reused across rounds so steady-state rounds allocate nothing.
@@ -228,6 +246,15 @@ type task struct {
 	// next spill pass). Touched only by the scheduler between rounds.
 	spilled   int64
 	coldRound int64
+
+	// attribution state (Config.Attribution; scheduler-owned): the round the
+	// request was first seen, the round it first blocked at the head of the
+	// admission queue, how many of its resident rounds decoded as a batched
+	// cohort, and its own prefill cost priced at the admit-round barrier.
+	seenRound      int64
+	holRound       int64
+	batchedRounds  int64
+	attrOwnPrefill float64
 
 	// decode state (touched only by the worker running this task's step)
 	seq       *model.Sequence
@@ -320,8 +347,28 @@ func NewEngine(m *model.Model, cfg Config) *Engine {
 		cfg.SyncTransfers, cfg.ThrottleTransfers)
 	e.rec = cfg.Trace
 	e.rt.SetTrace(cfg.Trace) // before loop starts: the runtime reads it unlocked
+	if cfg.Attribution {
+		hw, shape := cfg.ModelHardware, cfg.ModelShape
+		if hw.Name == "" {
+			hw = memsim.AdaRTX6000()
+		}
+		if shape.Name == "" {
+			shape = memsim.Llama31_8B()
+		}
+		e.attr = newAttrTracker(memsim.NewLatencyModel(hw, shape, cfg.PageTokens))
+	}
 	go e.loop()
 	return e
+}
+
+// Attribution returns the engine's per-request latency attribution
+// aggregator (nil unless Config.Attribution is set). Safe to snapshot
+// concurrently; fully settled once the engine is closed.
+func (e *Engine) Attribution() *obs.Attribution {
+	if e.attr == nil {
+		return nil
+	}
+	return e.attr.sink
 }
 
 // TransferRuntime exposes the engine's async transfer runtime (read-only use
@@ -645,12 +692,18 @@ func (e *Engine) loop() {
 		}
 
 		round++
+		if e.attr != nil {
+			e.attr.markSeen(pending, round)
+		}
 		// Admission: FIFO with head-of-line blocking, so a burst of small
 		// requests cannot starve a large one forever.
 		for len(pending) > 0 && len(active) < e.cfg.MaxBatch {
 			t := pending[0]
 			st := e.admit(t, round)
 			if st == admitWait {
+				if e.attr != nil && t.holRound == 0 {
+					t.holRound = round
+				}
 				break
 			}
 			pending = pending[1:]
@@ -687,6 +740,11 @@ func (e *Engine) loop() {
 		e.mx.observeKV(e.acct.Used(), e.acct.DeviceUsed(), e.acct.HostUsed())
 		e.rec.Emit(obs.Event{Type: obs.EvRoundEnd, Round: round,
 			N: e.kvUnits(e.acct.DeviceUsed()), Aux: e.kvUnits(e.acct.HostUsed())})
+		if e.attr != nil {
+			// Price the finished round on the attribution clock before any
+			// retirement below reads it.
+			e.attr.endRound(active, round)
+		}
 
 		// Post-round: publish built prefixes, retire finished tasks. A
 		// builder that failed before its snapshot existed unpublishes the
@@ -1025,6 +1083,11 @@ func (e *Engine) batchRound(active []*task, round int64) bool {
 		lgs = append(lgs, t.logits)
 	}
 	e.cohortSeq, e.cohortTok, e.cohortLg = seqs, toks, lgs
+	if e.attr != nil {
+		for _, t := range cohort {
+			t.batchedRounds++
+		}
+	}
 	e.rec.Emit(obs.Event{Type: obs.EvBatchRound, Round: round,
 		N: int64(len(cohort)), Aux: int64(len(prefills))})
 	e.batchDecodeCohort(cohort, seqs, toks, lgs)
@@ -1167,6 +1230,9 @@ func (e *Engine) spillCold(active []*task, round int64) {
 		e.rt.AccountPages(int((d + P - 1) / P))
 	}
 	if moved := spillStart - excess; moved > 0 {
+		if e.attr != nil {
+			e.attr.addTierSlots(moved)
+		}
 		e.rec.Emit(obs.Event{Type: obs.EvPageSpill, Round: round, N: e.kvUnits(moved)})
 	}
 }
@@ -1186,6 +1252,9 @@ func (e *Engine) promoteSpilled(active []*task, headroom, pageTokens, round int6
 	}
 	e.acct.MoveToDevice(promote)
 	e.rt.AccountPages(int((promote + pageTokens - 1) / pageTokens))
+	if e.attr != nil {
+		e.attr.addTierSlots(promote)
+	}
 	e.rec.Emit(obs.Event{Type: obs.EvPagePromote, Round: round, N: e.kvUnits(promote)})
 	// Shrink per-task claims newest-spill-first so future pressure can spill
 	// them again; cached-prefix claims (the coldest) unwind last, and any
@@ -1420,6 +1489,13 @@ func (t *task) sample() int {
 // hold the prefill never swapped out), the sequence's pages, and the prefix
 // entry reference.
 func (e *Engine) retire(t *task, round int64, err error) {
+	// Attribution breakdown first: the stall harvest reads the sequence's
+	// selector ledgers, which Release below tears down. Aborted tasks
+	// (round < 0) carry no modeled span.
+	var bd *obs.Breakdown
+	if e.attr != nil && round > 0 {
+		bd = e.attr.finish(t, round, -1)
+	}
 	if t.reserved > 0 {
 		e.acct.Release(t.reserved)
 		t.reserved = 0
@@ -1453,6 +1529,11 @@ func (e *Engine) retire(t *task, round int64, err error) {
 	t.resp.Err = err
 	t.resp.DoneRound = round
 	t.resp.Total = time.Since(t.submitted)
+	if bd != nil {
+		t.resp.Breakdown = bd
+		e.attr.sink.Observe(*bd)
+		obs.EmitSpans(e.rec, bd, e.attr.clockAt(bd.SeenRound-1))
+	}
 	e.mx.observeRetire(t, err)
 	if e.rec.Enabled() {
 		var failed int64

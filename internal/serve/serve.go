@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"clusterkv/internal/attention"
+	"clusterkv/internal/obs"
 )
 
 // Errors returned in Response.Err.
@@ -107,6 +108,11 @@ type Response struct {
 	// retirement. They are wall-clock independent, so deterministic runs can
 	// assert identical scheduling across repeats.
 	AdmitRound, DoneRound int64
+	// Breakdown is the request's latency attribution span tree on the
+	// modeled attribution clock (DESIGN.md §14) — nil unless
+	// Config.Attribution is set. Its phase tiling is deterministic; the
+	// XferExposedSec/XferHiddenSec pair is wall-clock-dependent telemetry.
+	Breakdown *obs.Breakdown
 }
 
 // Ticket is the handle returned by Submit.
